@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (run pytest with ``-s`` to see the tables inline; they are also
+written to ``benchmarks/output/``).  Set ``REPRO_QUICK=1`` for a fast
+smoke pass and ``REPRO_SCALE`` to trade fidelity for wall-clock.
+"""
+
+import os
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def emit(name, text):
+    """Print a finished table and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,18 @@
+"""Write-burst absorption / tail tolerance (Sections 2.3, 4.3.1)."""
+
+from repro.bench import bursts
+
+from conftest import emit
+
+
+def test_burst_absorption(benchmark):
+    results = benchmark.pedantic(bursts.run, rounds=1, iterations=1)
+    emit("bursts", bursts.format_table(results))
+    safe_slow = results[0][1]
+    durassd = results[2][1]
+    # the durable cache absorbs the burst at cache speed
+    assert durassd["burst_seconds"] < safe_slow["burst_seconds"] / 3
+    # and the readers barely notice (tail tolerance)
+    assert durassd["read_p99_ms"] < safe_slow["read_p99_ms"]
+    # reads during the safe-slow burst visibly stall vs baseline
+    assert safe_slow["read_p99_ms"] > 3 * safe_slow["baseline_p50_ms"]

@@ -1,0 +1,17 @@
+"""Regenerates Table 4: TPC-C tpmC on the commercial engine."""
+
+from repro.bench import table4
+
+from conftest import emit
+
+
+def test_table4(benchmark):
+    results = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    emit("table4", table4.format_table(results))
+    on = [r.tpmc for r in results[True]]
+    off = [r.tpmc for r in results[False]]
+    # turning barriers off multiplies throughput (paper: 15.3-22.8x)
+    for index in range(3):
+        assert off[index] / on[index] > 6
+    # smaller pages help when barriers are off (paper: 1.8-2.3x)
+    assert off[2] / off[0] > 1.5

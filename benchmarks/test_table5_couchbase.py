@@ -1,0 +1,18 @@
+"""Regenerates Table 5: Couchbase YCSB throughput vs fsync batch size."""
+
+from repro.bench import table5
+
+from conftest import emit
+
+
+def test_table5(benchmark):
+    results = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    emit("table5", table5.format_table(results))
+    on_100 = results[(True, 1.0)]
+    off_100 = results[(False, 1.0)]
+    # batch-1 vs batch-100 gap: huge with barriers (paper >20x) ...
+    assert on_100[-1] / on_100[0] > 10
+    # ... modest without (paper 2.1-2.6x)
+    assert off_100[-1] / off_100[0] < 4
+    # barrier-off batch-1 is an order of magnitude above barrier-on
+    assert off_100[0] / on_100[0] > 8

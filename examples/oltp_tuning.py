@@ -1,0 +1,55 @@
+"""OLTP configuration tuning on DuraSSD (the Figure 5 story, hands-on).
+
+Sweeps the two MySQL/InnoDB knobs the durable cache makes optional —
+write barriers and the double-write buffer — plus the page size, on a
+scaled LinkBench database, and prints throughput and tail latency for
+each combination.
+
+Run:  python examples/oltp_tuning.py          (a few minutes)
+      REPRO_QUICK=1 python examples/oltp_tuning.py
+"""
+
+from repro.bench import setups
+from repro.sim import units
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
+
+
+def run_one(barrier, doublewrite, page_size):
+    sim = setups.fresh_world()
+    engine, _devices = setups.mysql_setup(sim, page_size, barrier,
+                                          doublewrite, buffer_gb=10)
+    workload = LinkBenchWorkload(
+        engine, LinkBenchConfig(db_bytes=setups.scaled_db_bytes()))
+    return workload.run(clients=64, ops_per_client=setups.ops_scale(80),
+                        warmup_ops=20)
+
+
+def main():
+    print("LinkBench on DuraSSD, 64 clients, scaled 1/%d"
+          % setups.scale_factor())
+    print("%-22s %9s %12s %12s %8s" % ("barrier/dwb/page", "TPS",
+                                       "read p99", "write p99",
+                                       "blocked"))
+    best = None
+    for barrier in (True, False):
+        for doublewrite in (True, False):
+            for page_size in (16 * units.KIB, 4 * units.KIB):
+                result = run_one(barrier, doublewrite, page_size)
+                label = "%s/%s/%dK" % ("ON" if barrier else "OFF",
+                                       "ON" if doublewrite else "OFF",
+                                       page_size // units.KIB)
+                print("%-22s %9.0f %10.1fms %10.1fms %8d"
+                      % (label, result.tps,
+                         result.reads.percentile(0.99) * 1e3,
+                         result.writes.percentile(0.99) * 1e3,
+                         result.pool_stats["reads_blocked_by_write"]))
+                if best is None or result.tps > best[1]:
+                    best = (label, result.tps)
+    print()
+    print("best configuration: %s at %.0f TPS" % best)
+    print("On DuraSSD the OFF/OFF rows are SAFE: the durable cache makes")
+    print("the barrier and the redundant page writes unnecessary.")
+
+
+if __name__ == "__main__":
+    main()

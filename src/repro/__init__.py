@@ -1,0 +1,36 @@
+"""repro — a full-stack reproduction of Kang et al., "Durable Write Cache
+in Flash Memory SSD for Relational and NoSQL Databases" (SIGMOD 2014).
+
+The package simulates the entire stack the paper evaluates:
+
+* :mod:`repro.sim` — a deterministic discrete-event kernel,
+* :mod:`repro.flash` — NAND geometry, timing, and a page-mapping FTL,
+* :mod:`repro.devices` — HDD and volatile-cache SSD baselines,
+* :mod:`repro.core` — DuraSSD: durable cache, atomic writer, recovery,
+* :mod:`repro.host` — NCQ, write barriers, a file system, and fio,
+* :mod:`repro.db` — InnoDB-, Couchbase- and commercial-style engines,
+* :mod:`repro.workloads` — LinkBench, YCSB and TPC-C generators,
+* :mod:`repro.failures` — power-fault injection and ACID checking,
+* :mod:`repro.bench` — drivers that regenerate every table and figure.
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.devices import make_durassd
+    from repro.host import FileSystem
+    from repro.host.fio import FioJob, run_fio
+
+    sim = Simulator()
+    device = make_durassd(sim)
+    fs = FileSystem(sim, device, barriers=False)   # durable cache: safe!
+    job = FioJob(rw="randwrite", block_size=4096, fsync_every=1)
+    result = run_fio(sim, fs, job)
+    print(result.iops)
+"""
+
+__version__ = "1.0.0"
+
+from . import core, db, devices, failures, flash, host, sim, workloads
+
+__all__ = ["core", "db", "devices", "failures", "flash", "host", "sim",
+           "workloads", "__version__"]

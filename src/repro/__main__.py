@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro all            # every table and figure, in order
+    REPRO_QUICK=1 python -m repro figure5
+"""
+
+import sys
+
+from .bench import (
+    ablations,
+    atomicity,
+    bursts,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS = {
+    "table1": ("Table 1: fsync/flush-cache vs 4KB write IOPS",
+               table1.main),
+    "table2": ("Table 2: page size vs IOPS", table2.main),
+    "figure5": ("Figure 5: LinkBench TPS across configurations",
+                figure5.main),
+    "figure6": ("Figure 6: miss ratio / TPS vs buffer size",
+                figure6.main),
+    "table3": ("Table 3: LinkBench latency distributions", table3.main),
+    "table4": ("Table 4: TPC-C tpmC", table4.main),
+    "table5": ("Table 5: Couchbase YCSB vs fsync batch", table5.main),
+    "ablations": ("Ablations: lifetime, capacitors, mapping, flush",
+                  ablations.main),
+    "atomicity": ("Atomic-write mechanism comparison", atomicity.main),
+    "bursts": ("Write-burst absorption / tail tolerance", bursts.main),
+}
+
+ORDER = ["table1", "table2", "figure5", "figure6", "table3", "table4",
+         "table5", "ablations", "atomicity", "bursts"]
+
+
+def main(argv=None):
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__)
+        print("experiments:")
+        for name in ORDER:
+            print("  %-10s %s" % (name, EXPERIMENTS[name][0]))
+        return 0
+    target = argv[0]
+    if target == "all":
+        for name in ORDER:
+            print("=" * 70)
+            print("== %s" % EXPERIMENTS[name][0])
+            print("=" * 70)
+            EXPERIMENTS[name][1]()
+            print()
+        return 0
+    if target not in EXPERIMENTS:
+        print("unknown experiment: %r (try 'list')" % target)
+        return 2
+    EXPERIMENTS[target][1]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Experiment drivers — one module per table/figure of the paper, plus
+ablations.  Each module exposes ``run()`` returning structured results
+and ``format_table(...)`` printing the paper-vs-measured comparison."""
+
+from . import (  # noqa: F401
+    ablations,
+    atomicity,
+    bursts,
+    figure5,
+    figure6,
+    setups,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    tableio,
+)
+
+__all__ = [
+    "ablations",
+    "atomicity",
+    "bursts",
+    "figure5",
+    "figure6",
+    "setups",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "tableio",
+]

@@ -1,0 +1,83 @@
+"""Figure 5 — LinkBench transaction throughput on MySQL/InnoDB.
+
+Four configurations (write-barrier on/off x double-write-buffer on/off)
+by three page sizes (16/8/4KB), 128 clients, 10GB buffer pool on a
+100GB database (scaled).  The paper's headline: turning barriers off
+buys ~6x, dropping the double-write buffer buys ~2x (barriers on) or
+~25% (barriers off), and the best/worst gap exceeds 20x.
+"""
+
+from ..sim import Simulator, units
+from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
+from . import setups
+from .tableio import render_table
+
+PAGE_SIZES = (16 * units.KIB, 8 * units.KIB, 4 * units.KIB)
+CONFIGS = [  # (barrier, doublewrite)
+    (True, True), (True, False), (False, True), (False, False),
+]
+
+#: approximate TPS read off Figure 5's bars (the paper prints no table)
+PAPER_APPROX = {
+    (True, True): (1300, 2500, 2300),
+    (True, False): (2600, 4500, 4300),
+    (False, True): (12000, 18000, 25000),
+    (False, False): (15000, 24000, 32000),
+}
+
+
+def run_config(barrier, doublewrite, page_size, clients=128,
+               ops_per_client=None, buffer_gb=10):
+    sim = Simulator()
+    engine, _devices = setups.mysql_setup(sim, page_size, barrier,
+                                          doublewrite, buffer_gb=buffer_gb)
+    workload = LinkBenchWorkload(
+        engine, LinkBenchConfig(db_bytes=setups.scaled_db_bytes()))
+    if ops_per_client is None:
+        # Quick mode still needs enough operations to reach the dirty
+        # steady state, or the doublewrite/barrier knobs look free.
+        ops_per_client = max(100, setups.ops_scale(150))
+    return workload.run(clients=clients, ops_per_client=ops_per_client,
+                        warmup_ops=40)
+
+
+def run():
+    """{(barrier, dwb): [LinkBenchResult per page size]}"""
+    results = {}
+    for barrier, doublewrite in CONFIGS:
+        results[(barrier, doublewrite)] = [
+            run_config(barrier, doublewrite, page_size)
+            for page_size in PAGE_SIZES]
+    return results
+
+
+def format_table(results):
+    headers = ["barrier/dwb", "16KB", "8KB", "4KB"]
+    rows = []
+    for key in CONFIGS:
+        label = "%s/%s" % ("ON" if key[0] else "OFF",
+                           "ON" if key[1] else "OFF")
+        rows.append([label] + [round(r.tps) for r in results[key]])
+        rows.append(["  (paper~)"] + list(PAPER_APPROX[key]))
+    best = max(r.tps for row in results.values() for r in row)
+    worst = min(r.tps for row in results.values() for r in row)
+    table = render_table(
+        "Figure 5: LinkBench transactions per second", headers, rows)
+    from .charts import render_grouped_bars
+    series = {}
+    for key in CONFIGS:
+        label = "%s/%s" % ("ON" if key[0] else "OFF",
+                           "ON" if key[1] else "OFF")
+        series[label] = [r.tps for r in results[key]]
+    chart = render_grouped_bars("\nFigure 5 as bars (TPS):",
+                                ["16KB", "8KB", "4KB"], series)
+    return table + ("\nbest/worst gap: %.1fx (paper: >20x)\n"
+                    % (best / worst)) + chart
+
+
+def main():
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Shared experiment plumbing: devices, file systems, engines, scaling.
+
+Every bench builds its world through these helpers so the scale-down
+policy lives in one place.  Environment knobs:
+
+* ``REPRO_SCALE``   — divide the paper's 100GB databases by this factor
+  (default 256; smaller = closer to the paper, slower).
+* ``REPRO_QUICK``   — set to 1 to cut operation counts ~4x for smoke
+  runs of the full benchmark suite.
+"""
+
+import os
+
+from ..db.commercial import CommercialConfig, CommercialEngine
+from ..db.couchstore import CouchstoreConfig, CouchstoreEngine
+from ..db.innodb import InnoDBConfig, InnoDBEngine
+from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
+from ..host import FileSystem
+from ..sim import Simulator, units
+
+PAPER_DB_BYTES = 100 * units.GIB
+
+DEVICE_MAKERS = {
+    "hdd": make_hdd,
+    "ssd-a": make_ssd_a,
+    "ssd-b": make_ssd_b,
+    "durassd": make_durassd,
+}
+
+
+def scale_factor():
+    return int(os.environ.get("REPRO_SCALE", "256"))
+
+
+def quick_mode():
+    return os.environ.get("REPRO_QUICK", "0") not in ("0", "", "false")
+
+
+def ops_scale(base):
+    """Operation count, shrunk in quick mode."""
+    return max(10, base // 4) if quick_mode() else base
+
+
+def scaled_db_bytes():
+    return PAPER_DB_BYTES // scale_factor()
+
+
+def scaled(buffer_gb):
+    """A paper buffer-pool size (GB) scaled to the local run."""
+    return int(buffer_gb * units.GIB) // scale_factor()
+
+
+def fresh_world():
+    return Simulator()
+
+
+def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None):
+    maker = DEVICE_MAKERS[kind]
+    if capacity_bytes is None:
+        return maker(sim, cache_enabled=cache_enabled)
+    return maker(sim, cache_enabled=cache_enabled,
+                 capacity_bytes=capacity_bytes)
+
+
+def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
+                device_kind="durassd", **config_overrides):
+    """The paper's MySQL world: two drives, XFS, O_DIRECT."""
+    db_bytes = scaled_db_bytes()
+    data_device = make_device(sim, device_kind,
+                              capacity_bytes=int(db_bytes * 2.5))
+    log_device = make_device(sim, device_kind,
+                             capacity_bytes=max(units.GIB, db_bytes // 4))
+    data_fs = FileSystem(sim, data_device, barriers=barriers)
+    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    config = InnoDBConfig(page_size=page_size,
+                          buffer_pool_bytes=scaled(buffer_gb),
+                          doublewrite=doublewrite, **config_overrides)
+    engine = InnoDBEngine(sim, data_fs, log_fs, config)
+    return engine, (data_device, log_device)
+
+
+def commercial_setup(sim, page_size, barriers, buffer_gb=2,
+                     device_kind="durassd", **config_overrides):
+    """The paper's commercial-DBMS world: ext4, O_DSYNC data files."""
+    db_bytes = scaled_db_bytes()
+    data_device = make_device(sim, device_kind,
+                              capacity_bytes=int(db_bytes * 2.5))
+    log_device = make_device(sim, device_kind,
+                             capacity_bytes=max(units.GIB, db_bytes // 4))
+    data_fs = FileSystem(sim, data_device, barriers=barriers,
+                         coalesce_barriers=True)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        coalesce_barriers=True)
+    config = CommercialConfig(page_size=page_size,
+                              buffer_pool_bytes=scaled(buffer_gb),
+                              **config_overrides)
+    engine = CommercialEngine(sim, data_fs, log_fs, config)
+    return engine, (data_device, log_device)
+
+
+def couchbase_setup(sim, batch_size, barriers, device_kind="durassd",
+                    **config_overrides):
+    """The paper's Couchbase world: one drive, XFS."""
+    device = make_device(sim, device_kind, capacity_bytes=2 * units.GIB)
+    filesystem = FileSystem(sim, device, barriers=barriers)
+    config = CouchstoreConfig(batch_size=batch_size, **config_overrides)
+    engine = CouchstoreEngine(sim, filesystem, config)
+    return engine, (device,)

@@ -1,0 +1,89 @@
+"""Table 2 — effect of page size on IOPS (DuraSSD and HDD).
+
+DuraSSD: read-only at 128 threads; write-only with fsync every write,
+every 256 writes, and 128 threads with nobarrier.  HDD: read-only and
+write-only at 128 threads.  Page sizes 16/8/4KB.
+"""
+
+from ..host import FileSystem, FioJob, run_fio
+from ..sim import Simulator, units
+from . import setups
+from .tableio import render_table
+
+PAGE_SIZES = (16 * units.KIB, 8 * units.KIB, 4 * units.KIB)
+
+PAPER_DURASSD = {
+    "read-only (128 thr)": (29870, 57847, 89083),
+    "write-only (1-fsync)": (196, 206, 225),
+    "write-only (256-fsync)": (4563, 7978, 12647),
+    "write-only (128 nobarrier)": (13446, 25546, 49009),
+}
+PAPER_HDD = {
+    "read-only (128 thr)": (516, 528, 538),
+    "write-only (128 thr)": (428, 439, 444),
+}
+
+
+def _measure(device_kind, rw, numjobs, fsync_every, barriers, page_size,
+             cache_enabled=True):
+    sim = Simulator()
+    device = setups.make_device(sim, device_kind,
+                                cache_enabled=cache_enabled)
+    filesystem = FileSystem(sim, device, barriers=barriers)
+    per_job = setups.ops_scale(60 if numjobs > 1 else 400)
+    if device_kind == "hdd":
+        per_job = max(8, per_job // 8)
+    job = FioJob(rw=rw, block_size=page_size, numjobs=numjobs,
+                 ios_per_job=per_job, fsync_every=fsync_every,
+                 file_size=128 * units.MIB)
+    return run_fio(sim, filesystem, job).iops
+
+
+def run():
+    """Returns {section: {row_label: [iops per page size]}}."""
+    durassd = {
+        "read-only (128 thr)": [
+            _measure("durassd", "randread", 128, 0, True, ps)
+            for ps in PAGE_SIZES],
+        "write-only (1-fsync)": [
+            _measure("durassd", "randwrite", 1, 1, True, ps)
+            for ps in PAGE_SIZES],
+        "write-only (256-fsync)": [
+            _measure("durassd", "randwrite", 1, 256, True, ps)
+            for ps in PAGE_SIZES],
+        "write-only (128 nobarrier)": [
+            _measure("durassd", "randwrite", 128, 0, False, ps)
+            for ps in PAGE_SIZES],
+    }
+    hdd = {
+        "read-only (128 thr)": [
+            _measure("hdd", "randread", 128, 0, True, ps)
+            for ps in PAGE_SIZES],
+        "write-only (128 thr)": [
+            _measure("hdd", "randwrite", 128, 0, True, ps)
+            for ps in PAGE_SIZES],
+    }
+    return {"durassd": durassd, "hdd": hdd}
+
+
+def format_table(results):
+    headers = ["workload", "16KB", "8KB", "4KB"]
+    out = []
+    for section, paper in (("durassd", PAPER_DURASSD), ("hdd", PAPER_HDD)):
+        rows = []
+        for label, values in results[section].items():
+            rows.append([label] + [round(v) for v in values])
+            rows.append(["  (paper)"] + list(paper[label]))
+        out.append(render_table(
+            "Table 2(%s): page size vs IOPS — %s"
+            % ("a" if section == "durassd" else "b", section),
+            headers, rows))
+    return "\n\n".join(out)
+
+
+def main():
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""The paper's contribution: DuraSSD and its firmware components."""
+
+from .atomic_writer import AtomicWriter
+from .capacitor import CapacitorBank
+from .durassd import MAPPING_DUMP_RESERVE, DuraSSD
+from .recovery import DumpImage, RecoveryManager
+
+__all__ = [
+    "AtomicWriter",
+    "CapacitorBank",
+    "DumpImage",
+    "DuraSSD",
+    "MAPPING_DUMP_RESERVE",
+    "RecoveryManager",
+]

@@ -1,0 +1,51 @@
+"""The atomic writer (Section 3.2).
+
+A write command is *complete* the moment its data has fully streamed
+into the durable cache; from then on its atomicity and durability are
+guaranteed.  A command still streaming when the power dies is
+*incomplete*: none of its blocks may become visible after recovery
+(rollback atomicity).
+
+The writer tracks both populations so the recovery manager can discard
+the incomplete ones from the dump and the failure checker can assert
+the all-or-nothing property command by command.
+"""
+
+
+class AtomicWriter:
+    """Tracks write commands between data-transfer start and cache commit."""
+
+    def __init__(self):
+        self._streaming = {}
+        self.completed_commands = 0
+        self.discarded_incomplete = 0
+
+    @property
+    def streaming_count(self):
+        return len(self._streaming)
+
+    def begin(self, request):
+        """The host started streaming this command's data."""
+        self._streaming[id(request)] = request
+
+    def complete(self, request):
+        """All data is in the durable cache: the command is atomic+durable."""
+        if id(request) not in self._streaming:
+            raise ValueError("complete() for a command that never began")
+        del self._streaming[id(request)]
+        self.completed_commands += 1
+
+    def abandon(self, request):
+        """The command failed before commit (e.g. bad range); untrack it."""
+        self._streaming.pop(id(request), None)
+
+    def discard_incomplete(self):
+        """Power failure: every still-streaming command is rolled back.
+
+        Returns the discarded requests (the checker verifies none of
+        their blocks became visible).
+        """
+        discarded = list(self._streaming.values())
+        self._streaming.clear()
+        self.discarded_incomplete += len(discarded)
+        return discarded

@@ -1,0 +1,113 @@
+"""DuraSSD's recovery manager (Section 3.4).
+
+On power failure a dedicated circuit invokes the recovery manager, which
+flushes to the pre-erased *dump area*:
+
+* the whole buffer pool (it is small, a few MB suffice — Section 3.1.1),
+* the *modified* page-mapping entries (incremental backup, because the
+  full table is most of the DRAM),
+
+and sets the emergency-shutdown flag.  Crucially the mapping entries are
+*not* merged during the dump — fast flushing first, bookkeeping later.
+
+On reboot, if the flag is set: recharge the capacitors first (so a
+second failure during recovery is survivable), merge the dumped mapping
+delta into the persistent table, replay the buffered write-backs, clear
+the dump area, and reset the flag.  Replay is idempotent: running it
+twice yields the same device state.
+"""
+
+
+class DumpImage:
+    """What made it into the dump area at the instant of power loss."""
+
+    def __init__(self, buffer_snapshot, mapping_delta, block_bytes,
+                 mapping_entry_bytes=8):
+        self.buffer_snapshot = dict(buffer_snapshot)
+        self.mapping_delta = dict(mapping_delta)
+        self.block_bytes = block_bytes
+        self.mapping_entry_bytes = mapping_entry_bytes
+        self.truncated_blocks = {}
+
+    @property
+    def bytes_needed(self):
+        return (len(self.buffer_snapshot) * self.block_bytes +
+                len(self.mapping_delta) * self.mapping_entry_bytes)
+
+    def truncate_to(self, budget_bytes):
+        """Drop the newest buffered blocks that exceed ``budget_bytes``.
+
+        Only happens when flow control was misconfigured; the dropped
+        blocks are remembered so the failure checker can attribute the
+        resulting data loss.
+        """
+        keep_bytes = budget_bytes - len(self.mapping_delta) * self.mapping_entry_bytes
+        keep_blocks = max(0, int(keep_bytes // self.block_bytes))
+        if keep_blocks >= len(self.buffer_snapshot):
+            return
+        items = list(self.buffer_snapshot.items())
+        kept, dropped = items[:keep_blocks], items[keep_blocks:]
+        self.buffer_snapshot = dict(kept)
+        self.truncated_blocks = dict(dropped)
+
+
+class RecoveryManager:
+    """Dump-on-failure / replay-on-reboot state machine."""
+
+    def __init__(self, capacitors, block_bytes):
+        self.capacitors = capacitors
+        self.block_bytes = block_bytes
+        self.emergency_flag = False
+        self.dump_image = None
+        self.dumps = 0
+        self.replays = 0
+        self.last_dump_fit = True
+
+    # --- power-failure side -----------------------------------------------
+    def dump(self, buffer_snapshot, mapping_delta):
+        """Write the dump image under capacitor power.
+
+        Returns the image.  If the bank's budget is exceeded the image is
+        truncated — acked data is lost, which the checker will flag; the
+        device's flow control exists precisely to prevent this.
+        """
+        image = DumpImage(buffer_snapshot, mapping_delta, self.block_bytes)
+        self.last_dump_fit = self.capacitors.can_dump(image.bytes_needed)
+        if not self.last_dump_fit:
+            image.truncate_to(self.capacitors.dump_budget_bytes)
+        self.dump_image = image
+        self.emergency_flag = True
+        self.dumps += 1
+        return image
+
+    # --- reboot side ---------------------------------------------------------
+    def needs_recovery(self):
+        return self.emergency_flag
+
+    def replay(self, device):
+        """Reboot-time recovery (Section 3.4.2).
+
+        1. Recharge capacitors (time charged to the caller).
+        2. Merge the dumped mapping delta into the mapping table.
+        3. Replay buffered write-backs into the (again durable) cache.
+        4. Clear the dump area and the emergency flag.
+
+        Returns the simulated recovery time in seconds.  Idempotent: the
+        dump image is consumed only at the successful end, and replaying
+        the same image twice produces identical state.
+        """
+        if not self.emergency_flag:
+            return 0.0
+        image = self.dump_image
+        recovery_time = self.capacitors.recharge_time
+        recovery_time += self.capacitors.dump_time(image.bytes_needed)
+        device.ftl.apply_mapping_delta(image.mapping_delta)
+        for lba, value in image.buffer_snapshot.items():
+            device.cache.put(lba, value)
+        # The merged table is persisted as part of recovery, so a clean
+        # follow-up crash has no delta to lose.
+        device.ftl.mark_mapping_persisted()
+        self.dump_image = None
+        self.emergency_flag = False
+        self.replays += 1
+        return recovery_time

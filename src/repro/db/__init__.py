@@ -1,0 +1,47 @@
+"""Database substrate and engines (InnoDB-, Couchbase-, commercial-style)."""
+
+from .btree import AccessResult, PagedBTree
+from .commercial import CommercialConfig, CommercialEngine
+from .couchstore import CouchstoreConfig, CouchstoreEngine
+from .buffer_pool import BufferPool, Frame
+from .dbrecovery import RecoveryReport, check_consistency, recover
+from .doublewrite import DoubleWriteBuffer
+from .innodb import COMMIT_MARKER, InnoDBConfig, InnoDBEngine, Transaction
+from .pages import TornPageError, page_tokens, try_verify_page, verify_page
+from .pagestore import PageStore, Tablespace
+from .postgres import PostgresConfig, PostgresEngine
+from .sqlite import SQLiteConfig, SQLiteEngine
+from .treeshape import SyntheticTable
+from .wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "AccessResult",
+    "CommercialConfig",
+    "CommercialEngine",
+    "CouchstoreConfig",
+    "CouchstoreEngine",
+    "BufferPool",
+    "COMMIT_MARKER",
+    "check_consistency",
+    "DoubleWriteBuffer",
+    "Frame",
+    "InnoDBConfig",
+    "InnoDBEngine",
+    "LogRecord",
+    "PagedBTree",
+    "PageStore",
+    "PostgresConfig",
+    "PostgresEngine",
+    "SQLiteConfig",
+    "SQLiteEngine",
+    "RecoveryReport",
+    "recover",
+    "SyntheticTable",
+    "Tablespace",
+    "TornPageError",
+    "Transaction",
+    "WriteAheadLog",
+    "page_tokens",
+    "try_verify_page",
+    "verify_page",
+]

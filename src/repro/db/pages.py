@@ -1,0 +1,69 @@
+"""Database page tokens and torn-page detection.
+
+A database page spans one or more 4KiB device blocks.  On storage, each
+block of a page carries the token ``("pg", space_id, page_no, version,
+block_index)``.  A page read re-assembles the blocks and verifies that
+every block belongs to the same (space, page, version) — exactly what a
+real page checksum validates.  A mix of versions (a torn page from a
+partial write) or a TORN sentinel (a shorn block) fails verification.
+"""
+
+from ..flash.torn import is_torn
+from ..sim import units
+
+PAGE_MAGIC = "pg"
+
+
+class TornPageError(Exception):
+    """A page read back from storage failed its checksum."""
+
+    def __init__(self, space_id, page_no, detail=""):
+        super().__init__("torn page (%s, %s) %s" % (space_id, page_no, detail))
+        self.space_id = space_id
+        self.page_no = page_no
+
+
+def page_tokens(space_id, page_no, version, page_size):
+    """The per-block payload for writing one page version."""
+    nblocks = page_size // units.LBA_SIZE
+    return [(PAGE_MAGIC, space_id, page_no, version, index)
+            for index in range(nblocks)]
+
+
+def verify_page(space_id, page_no, values):
+    """Validate block tokens read from storage.
+
+    Returns the page version, or None when the page was never written
+    (all blocks blank).  Raises :class:`TornPageError` on a checksum
+    failure: shorn blocks, mixed versions, or misdirected blocks.
+    """
+    if all(value is None for value in values):
+        return None
+    versions = set()
+    for index, value in enumerate(values):
+        if is_torn(value):
+            raise TornPageError(space_id, page_no, "shorn block %d" % index)
+        if value is None:
+            raise TornPageError(space_id, page_no,
+                                "missing block %d of a written page" % index)
+        if (not isinstance(value, tuple) or len(value) != 5
+                or value[0] != PAGE_MAGIC):
+            raise TornPageError(space_id, page_no,
+                                "foreign data in block %d: %r" % (index, value))
+        magic, got_space, got_page, version, got_index = value
+        if (got_space, got_page, got_index) != (space_id, page_no, index):
+            raise TornPageError(space_id, page_no,
+                                "misdirected block %d: %r" % (index, value))
+        versions.add(version)
+    if len(versions) != 1:
+        raise TornPageError(space_id, page_no,
+                            "mixed versions %s (partial write)" % sorted(versions))
+    return versions.pop()
+
+
+def try_verify_page(space_id, page_no, values):
+    """(version, None) on success; (None, error) on a torn page."""
+    try:
+        return verify_page(space_id, page_no, values), None
+    except TornPageError as error:
+        return None, error

@@ -1,0 +1,101 @@
+"""The page store: tablespace files addressed by (space, page_no).
+
+One :class:`PageStore` manages the data file(s) of a database engine on
+a file system.  It translates page numbers to file offsets, attaches the
+torn-detection tokens of :mod:`repro.db.pages`, and exposes timed
+read/write generators plus an untimed post-crash inspection view for the
+recovery machinery.
+"""
+
+from ..sim import units
+from .pages import TornPageError, page_tokens, try_verify_page, verify_page
+
+
+class Tablespace:
+    """One preallocated data file holding ``n_pages`` pages."""
+
+    def __init__(self, space_id, handle, n_pages, page_size):
+        self.space_id = space_id
+        self.handle = handle
+        self.n_pages = n_pages
+        self.page_size = page_size
+
+    def offset_of(self, page_no):
+        if not 0 <= page_no < self.n_pages:
+            raise ValueError("page %d outside space %r (%d pages)"
+                             % (page_no, self.space_id, self.n_pages))
+        return page_no * self.page_size
+
+
+class PageStore:
+    """All tablespaces of one engine over one file system."""
+
+    def __init__(self, filesystem, page_size):
+        if page_size % units.LBA_SIZE:
+            raise ValueError("page size must be a multiple of 4KiB")
+        self.filesystem = filesystem
+        self.page_size = page_size
+        self.blocks_per_page = page_size // units.LBA_SIZE
+        self._spaces = {}
+
+    def create_space(self, space_id, n_pages):
+        if space_id in self._spaces:
+            raise ValueError("space exists: %r" % space_id)
+        handle = self.filesystem.create("space-%s" % (space_id,),
+                                        n_pages * self.page_size)
+        space = Tablespace(space_id, handle, n_pages, self.page_size)
+        self._spaces[space_id] = space
+        return space
+
+    def space(self, space_id):
+        return self._spaces[space_id]
+
+    @property
+    def spaces(self):
+        return list(self._spaces.values())
+
+    # --- timed I/O -----------------------------------------------------------
+    def write_page(self, space_id, page_no, version):
+        """Write one page version to its home location."""
+        space = self._spaces[space_id]
+        tokens = page_tokens(space_id, page_no, version, self.page_size)
+        yield from self.filesystem.pwrite(space.handle, space.offset_of(page_no),
+                                          tokens)
+
+    def read_page(self, space_id, page_no):
+        """Read and verify one page; returns its version (None if blank).
+
+        Raises :class:`TornPageError` exactly when a real engine's page
+        checksum would fire.
+        """
+        space = self._spaces[space_id]
+        values = yield from self.filesystem.pread(
+            space.handle, space.offset_of(page_no), self.blocks_per_page)
+        return verify_page(space_id, page_no, values)
+
+    def write_page_image(self, handle, offset_bytes, space_id, page_no, version):
+        """Write a page image at an arbitrary location (double-write area,
+        journals) — the tokens still identify the *original* page."""
+        tokens = page_tokens(space_id, page_no, version, self.page_size)
+        yield from self.filesystem.pwrite(handle, offset_bytes, tokens)
+
+    def fsync(self):
+        """fsync the most recently touched space files (all of them)."""
+        for space in self._spaces.values():
+            yield from self.filesystem.fsync(space.handle)
+
+    # --- untimed recovery support ----------------------------------------------
+    def install_page(self, space_id, page_no, version):
+        """Durably rewrite a page while the clock is stopped (recovery)."""
+        space = self._spaces[space_id]
+        tokens = page_tokens(space_id, page_no, version, self.page_size)
+        self.filesystem.install_blocks(space.handle, space.offset_of(page_no),
+                                       tokens)
+
+    # --- untimed post-crash inspection ----------------------------------------
+    def persistent_page(self, space_id, page_no):
+        """(version, torn_error) as found on stable media after a crash."""
+        space = self._spaces[space_id]
+        values = self.filesystem.persistent_blocks(
+            space.handle, space.offset_of(page_no), self.blocks_per_page)
+        return try_verify_page(space_id, page_no, values)

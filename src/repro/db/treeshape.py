@@ -1,0 +1,105 @@
+"""Analytic B+-tree shape for warehouse-scale tables.
+
+Building a 100GB clustered index record-by-record is neither feasible
+nor useful in a simulation — what the storage stack needs is *which
+pages* an access touches.  For a steady-state B+-tree of ``n_rows``
+fixed-size records that is a pure function of the page size, so this
+module computes the paths analytically.
+
+The shape matches :class:`repro.db.btree.PagedBTree` for the same
+capacities (an integration test asserts this), and it reproduces the
+page-size anomaly of Figure 5: halving the page size can add a level to
+the index, which is why 4KB pages slightly lose to 8KB when barriers
+make the extra I/O per lookup expensive.
+"""
+
+import math
+
+
+class SyntheticTable:
+    """Shape of one clustered index (rows keyed 0..n_rows-1).
+
+    Page numbering is level order: page 0 is the root, then each deeper
+    level, leaves last.  A key's *rank* is the key itself.
+    """
+
+    #: fraction of a page holding payload in a steady-state B+-tree
+    FILL_FACTOR = 0.69  # the classic ln 2 steady-state fill
+
+    def __init__(self, name, space_id, n_rows, row_bytes, page_size,
+                 key_entry_bytes=16):
+        if n_rows < 1:
+            raise ValueError("table needs at least one row")
+        self.name = name
+        self.space_id = space_id
+        self.n_rows = n_rows
+        self.row_bytes = row_bytes
+        self.page_size = page_size
+        self.leaf_capacity = max(
+            2, int(page_size * self.FILL_FACTOR // row_bytes))
+        self.fanout = max(
+            3, int(page_size * self.FILL_FACTOR // key_entry_bytes))
+        # level_widths[0] = 1 (root) ... level_widths[-1] = leaves
+        widths = [max(1, math.ceil(n_rows / self.leaf_capacity))]
+        while widths[-1] > 1:
+            widths.append(math.ceil(widths[-1] / self.fanout))
+        widths.reverse()
+        if widths[0] != 1:
+            widths.insert(0, 1)
+        self.level_widths = widths
+        # cumulative page-number offsets per level
+        self.level_offsets = [0]
+        for width in widths[:-1]:
+            self.level_offsets.append(self.level_offsets[-1] + width)
+        self.total_pages = sum(widths)
+
+    @property
+    def depth(self):
+        return len(self.level_widths)
+
+    @property
+    def n_leaves(self):
+        return self.level_widths[-1]
+
+    @property
+    def data_bytes(self):
+        return self.n_leaves * self.page_size
+
+    def leaf_of(self, rank):
+        """Leaf index (0-based within the leaf level) holding ``rank``."""
+        if not 0 <= rank < self.n_rows:
+            raise ValueError("rank %d outside table %r" % (rank, self.name))
+        return min(rank // self.leaf_capacity, self.n_leaves - 1)
+
+    def leaf_page_no(self, leaf_index):
+        return self.level_offsets[-1] + leaf_index
+
+    def path_for(self, rank):
+        """Page numbers from root to the leaf holding ``rank``."""
+        leaf_index = self.leaf_of(rank)
+        path = []
+        index = leaf_index
+        # walk bottom-up computing each ancestor's index, then reverse
+        for level in range(self.depth - 1, -1, -1):
+            width = self.level_widths[level]
+            index = min(index, width - 1)
+            path.append(self.level_offsets[level] + index)
+            index = index // self.fanout
+        path.reverse()
+        return path
+
+    def leaves_for_range(self, rank, row_count):
+        """Leaf pages covering ``row_count`` consecutive rows from rank."""
+        first = self.leaf_of(rank)
+        last = self.leaf_of(min(self.n_rows - 1, rank + max(0, row_count - 1)))
+        return [self.leaf_page_no(i) for i in range(first, last + 1)]
+
+    def pages_for_scan(self, rank, row_count):
+        """Descent path plus the extra leaves of a range scan."""
+        path = self.path_for(rank)
+        extra = self.leaves_for_range(rank, row_count)[1:]
+        return path + extra
+
+    def internal_page_fraction(self):
+        """Fraction of the table's pages that are internal (hot) nodes."""
+        return (self.total_pages - self.n_leaves) / self.total_pages

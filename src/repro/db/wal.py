@@ -1,0 +1,153 @@
+"""Write-ahead log with group commit.
+
+The redo log lives in its own file (the paper dedicates a second
+DuraSSD to logging) and is flushed to its device on every transaction
+commit.  Concurrent committers piggyback on one another's flushes —
+classic group commit — which is why commit latency under load is a
+queueing time on the log flush, not a fixed cost.
+
+Log records are tokens ``(txn_id, space_id, page_no, new_version)``;
+they carry exactly what crash recovery needs to redo a page update.
+"""
+
+from ..sim import units
+from ..sim.resources import Mutex
+
+
+class LogRecord:
+    __slots__ = ("lsn", "txn_id", "space_id", "page_no", "version", "nbytes")
+
+    def __init__(self, lsn, txn_id, space_id, page_no, version, nbytes):
+        self.lsn = lsn
+        self.txn_id = txn_id
+        self.space_id = space_id
+        self.page_no = page_no
+        self.version = version
+        self.nbytes = nbytes
+
+
+class WriteAheadLog:
+    """Append-only redo log over one file, with group commit."""
+
+    #: average redo record size (the paper's row updates are small)
+    DEFAULT_RECORD_BYTES = 256
+
+    def __init__(self, sim, filesystem, capacity_bytes=256 * units.MIB,
+                 name="redo"):
+        self.sim = sim
+        self.filesystem = filesystem
+        self.handle = filesystem.create("%s-log" % name, capacity_bytes)
+        self.capacity_bytes = capacity_bytes
+        self._next_lsn = 1
+        self._buffer = []            # records not yet written
+        self._buffered_bytes = 0
+        self._write_cursor_blocks = 0
+        self.flushed_lsn = 0
+        self.barrier_durable_lsn = 0
+        # checkpoint age: appended bytes not yet covered by a checkpoint.
+        # InnoDB stalls writers when the redo log fills; the engine's
+        # cleaner advances the checkpoint by flushing old dirty pages.
+        self._appended_bytes = 0
+        self._checkpoint_bytes = 0
+        self._flush_mutex = Mutex(sim)
+        self._records_for_recovery = []  # what is durably on the log device
+        self.counters = {"appends": 0, "flushes": 0, "group_commits": 0,
+                         "blocks_written": 0}
+
+    @property
+    def current_lsn(self):
+        return self._next_lsn - 1
+
+    @property
+    def used_bytes(self):
+        return self._write_cursor_blocks * units.LBA_SIZE
+
+    # --- append ---------------------------------------------------------------
+    def append(self, txn_id, space_id, page_no, version,
+               nbytes=DEFAULT_RECORD_BYTES):
+        """Add a redo record to the log buffer; returns its LSN."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = LogRecord(lsn, txn_id, space_id, page_no, version, nbytes)
+        self._buffer.append(record)
+        self._buffered_bytes += nbytes
+        self._appended_bytes += nbytes
+        self.counters["appends"] += 1
+        return lsn
+
+    def append_page_image(self, txn_id, space_id, page_no, version,
+                          page_size):
+        """A full-page write (PostgreSQL style): the whole before/after
+        image goes into the log, costing ``page_size`` log bytes."""
+        return self.append(txn_id, space_id, page_no, version,
+                           nbytes=page_size)
+
+    # --- group commit ------------------------------------------------------------
+    def flush_to(self, lsn):
+        """Make the log durable up to ``lsn``.
+
+        Returns once ``flushed_lsn >= lsn``.  Under concurrency, one
+        flusher writes for everyone queued behind it.
+        """
+        while self.flushed_lsn < lsn:
+            yield self._flush_mutex.acquire()
+            try:
+                if self.flushed_lsn >= lsn:
+                    self.counters["group_commits"] += 1
+                    return
+                yield from self._write_out()
+            finally:
+                self._flush_mutex.release()
+
+    def _write_out(self):
+        records, self._buffer = self._buffer, []
+        nbytes, self._buffered_bytes = self._buffered_bytes, 0
+        if not records:
+            return
+        nblocks = max(1, units.lba_count(nbytes))
+        if (self._write_cursor_blocks + nblocks) * units.LBA_SIZE \
+                > self.capacity_bytes:
+            self._write_cursor_blocks = 0  # circular log wrap
+        top_lsn = records[-1].lsn
+        tokens = [("log", top_lsn, index) for index in range(nblocks)]
+        offset = self._write_cursor_blocks * units.LBA_SIZE
+        yield from self.filesystem.pwrite(self.handle, offset, tokens)
+        self._write_cursor_blocks += nblocks
+        yield from self.filesystem.fdatasync(self.handle)
+        self.flushed_lsn = top_lsn
+        if self.filesystem.barriers:
+            self.barrier_durable_lsn = top_lsn
+        self._records_for_recovery.extend(records)
+        self.counters["flushes"] += 1
+        self.counters["blocks_written"] += nblocks
+
+    # --- checkpointing ---------------------------------------------------------------
+    @property
+    def checkpoint_age_bytes(self):
+        """Redo bytes written since the last checkpoint."""
+        return self._appended_bytes - self._checkpoint_bytes
+
+    def checkpoint_pressure(self):
+        """Fraction of the log capacity the checkpoint age consumes."""
+        return self.checkpoint_age_bytes / self.capacity_bytes
+
+    def advance_checkpoint(self):
+        """All dirty pages covered by old redo are on disk: the log
+        space behind the current LSN is reusable."""
+        self._checkpoint_bytes = self._appended_bytes
+        self.counters["checkpoints"] = self.counters.get("checkpoints", 0) + 1
+
+    # --- recovery support -----------------------------------------------------------
+    def surviving_records(self, log_device_durable):
+        """Redo records available to crash recovery.
+
+        A durable-cache log device (DuraSSD) retains everything that was
+        acked; a volatile one retains only what the last *barrier* flush
+        pushed to media — running it with ``nobarrier`` silently loses
+        the committed tail, which is precisely why the paper's OFF/OFF
+        configuration is only safe on DuraSSD.
+        """
+        if log_device_durable:
+            return list(self._records_for_recovery)
+        return [record for record in self._records_for_recovery
+                if record.lsn <= self.barrier_durable_lsn]

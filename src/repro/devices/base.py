@@ -1,0 +1,228 @@
+"""Block-device abstractions shared by HDD, SSD and DuraSSD models.
+
+All devices address 4KiB logical blocks (LBAs).  A request may span
+several blocks — a 16KB database page is a single 4-block write command
+— and *command atomicity* across those blocks is exactly the property
+DuraSSD adds and conventional devices lack.
+
+Payload model: writes carry one opaque value per block (version tokens
+in practice).  Reads return the per-block values currently reachable.
+This keeps a multi-gigabyte simulated database in a few dicts while
+preserving everything needed to detect lost and torn writes.
+"""
+
+from ..sim import units
+from ..sim.resources import Resource
+
+READ = "read"
+WRITE = "write"
+
+
+class PowerFailedError(Exception):
+    """An operation was attempted on a device that has lost power."""
+
+
+class IORequest:
+    """One host command: an LBA range plus per-block payload."""
+
+    __slots__ = ("op", "lba", "nblocks", "payload", "result",
+                 "submit_time", "complete_time", "tag")
+
+    def __init__(self, op, lba, nblocks=1, payload=None, tag=None):
+        if op not in (READ, WRITE):
+            raise ValueError("op must be 'read' or 'write': %r" % op)
+        if lba < 0 or nblocks < 1:
+            raise ValueError("bad LBA range: lba=%r nblocks=%r" % (lba, nblocks))
+        if op == WRITE:
+            if payload is None:
+                payload = [None] * nblocks
+            if len(payload) != nblocks:
+                raise ValueError("payload length %d != nblocks %d"
+                                 % (len(payload), nblocks))
+        self.op = op
+        self.lba = lba
+        self.nblocks = nblocks
+        self.payload = payload
+        self.result = None
+        self.submit_time = None
+        self.complete_time = None
+        self.tag = tag
+
+    @property
+    def nbytes(self):
+        return self.nblocks * units.LBA_SIZE
+
+    @property
+    def blocks(self):
+        return range(self.lba, self.lba + self.nblocks)
+
+    def __repr__(self):
+        return "<IORequest %s lba=%d n=%d>" % (self.op, self.lba, self.nblocks)
+
+
+class AckRecord:
+    """A completed write command, as seen (acked) by the host.
+
+    The failure checker compares these against post-crash device state.
+    """
+
+    __slots__ = ("time", "lba", "nblocks", "payload", "sequence")
+
+    def __init__(self, time, lba, nblocks, payload, sequence):
+        self.time = time
+        self.lba = lba
+        self.nblocks = nblocks
+        self.payload = list(payload)
+        self.sequence = sequence
+
+    @property
+    def blocks(self):
+        return range(self.lba, self.lba + self.nblocks)
+
+
+class StorageDevice:
+    """Common machinery: host link, counters, ack log, power state."""
+
+    def __init__(self, sim, name, link_bandwidth=600 * units.MIB,
+                 command_overhead=60 * units.USEC):
+        self.sim = sim
+        self.name = name
+        self.link_bandwidth = link_bandwidth
+        self.command_overhead = command_overhead
+        self._link = Resource(sim, capacity=1)
+        # flush-cache is a non-NCQ command: while one is in progress the
+        # device accepts no new commands — reads stall behind barriers,
+        # the effect behind the paper's ON-configuration read latencies.
+        self._flush_barrier = None
+        self.powered = True
+        self.record_acks = False
+        self.ack_log = []
+        self._ack_sequence = 0
+        self.counters = {"reads": 0, "writes": 0, "flushes": 0,
+                         "blocks_read": 0, "blocks_written": 0}
+
+    # --- host interface ----------------------------------------------------
+    def submit(self, request):
+        """Submit a request; returns its completion event."""
+        return self.sim.process(self._service(request))
+
+    def flush_cache(self):
+        """The ATA flush-cache command (issued by fsync with barriers on)."""
+        return self.sim.process(self._flush())
+
+    def _service(self, request):
+        if not self.powered:
+            raise PowerFailedError(self.name)
+        while self._flush_barrier is not None:
+            yield self._flush_barrier
+            if not self.powered:
+                raise PowerFailedError(self.name)
+        request.submit_time = self.sim.now
+        self._on_command_start(request)
+        yield from self._transfer(request.nbytes)
+        if request.op == WRITE:
+            yield from self._write(request)
+            self.counters["writes"] += 1
+            self.counters["blocks_written"] += request.nblocks
+            self._ack_write(request)
+        else:
+            request.result = yield from self._read(request)
+            self.counters["reads"] += 1
+            self.counters["blocks_read"] += request.nblocks
+        request.complete_time = self.sim.now
+        self._on_command_end(request)
+        return request
+
+    def _flush(self):
+        if not self.powered:
+            raise PowerFailedError(self.name)
+        while self._flush_barrier is not None:
+            yield self._flush_barrier
+            if not self.powered:
+                raise PowerFailedError(self.name)
+        barrier = self.sim.event()
+        self._flush_barrier = barrier
+        try:
+            self.counters["flushes"] += 1
+            yield from self._do_flush()
+        finally:
+            self._flush_barrier = None
+            barrier.succeed()
+
+    #: Bus occupancy per command beyond the data transfer itself; the
+    #: rest of ``command_overhead`` is controller latency that overlaps
+    #: across queued commands.
+    BUS_OVERHEAD = 2e-6
+
+    def _transfer(self, nbytes):
+        """Command latency plus data transfer.
+
+        Only the wire time serialises on the link; the fixed
+        ``command_overhead`` is controller work that proceeds in parallel
+        for queued commands (otherwise a 32-deep NCQ could never exceed
+        ~1/command_overhead IOPS, which contradicts Table 2).
+        """
+        yield self._link.acquire()
+        try:
+            yield self.sim.timeout(self.BUS_OVERHEAD +
+                                   nbytes / self.link_bandwidth)
+        finally:
+            self._link.release()
+        yield self.sim.timeout(self.command_overhead)
+
+    def _ack_write(self, request):
+        if self.record_acks:
+            self.ack_log.append(AckRecord(self.sim.now, request.lba,
+                                          request.nblocks, request.payload,
+                                          self._ack_sequence))
+            self._ack_sequence += 1
+
+    # --- subclass hooks ------------------------------------------------------
+    def _on_command_start(self, request):
+        """Called when the host begins streaming a command (override)."""
+
+    def _on_command_end(self, request):
+        """Called when a command completes and is acked (override)."""
+
+    def _write(self, request):
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator
+
+    def _read(self, request):
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator
+
+    def _do_flush(self):
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator
+
+    # --- power-failure protocol ----------------------------------------------
+    def power_fail(self):
+        """Cut power instantly.  Subclasses destroy volatile state."""
+        self.powered = False
+
+    def reboot(self):
+        """Restore power and run device recovery; returns recovery seconds
+        of simulated time (charged by the caller if it matters)."""
+        self.powered = True
+        return 0.0
+
+    def read_persistent(self, lba):
+        """Post-crash inspection: the value at ``lba`` after reboot.
+
+        Subclasses define what survived.  Not a timed operation.
+        """
+        raise NotImplementedError
+
+    def persistent_view(self, blocks):
+        """List of post-crash values for an iterable of LBAs."""
+        return [self.read_persistent(lba) for lba in blocks]
+
+    def install_persistent(self, lba, value):
+        """Place ``value`` at ``lba`` durably without simulated time.
+
+        Crash-recovery support: recovery rewrites repaired pages while
+        the clock is stopped (recovery time is not what the benchmarks
+        measure).  Subclasses write straight to their stable media.
+        """
+        raise NotImplementedError

@@ -1,0 +1,341 @@
+"""A conventional flash SSD with a *volatile* DRAM write cache.
+
+This is the SSD-A / SSD-B class of device from Table 1: fast while the
+cache is enabled, but an unexpected power cut destroys everything that
+was acked-into-cache and not yet flushed, plus any mapping-table delta
+that was never persisted.  Running it "safely" (cache off, or flushing
+on every fsync) costs exactly the throughput the paper measures.
+
+DuraSSD subclasses this device in :mod:`repro.core.durassd`, replacing
+the volatile power-failure behaviour with the capacitor-backed dump.
+"""
+
+from ..flash import FlashArray, FlashGeometry, FlashTiming, PageMappingFTL
+from ..flash.torn import TORN
+from ..sim import units
+from .base import PowerFailedError, StorageDevice
+from .write_cache import WriteCache
+
+
+class SSDSpec:
+    """Everything that differentiates one SSD model from another.
+
+    Timing fields are calibrated against Table 1 / Table 2 of the paper
+    (see ``presets.py`` for the values and their derivations).
+    """
+
+    def __init__(
+        self,
+        name,
+        capacity_bytes=4 * units.GIB,
+        cache_bytes=512 * units.MIB,
+        write_buffer_bytes=8 * units.MIB,
+        mapping_unit=8 * units.KIB,
+        nand_page=8 * units.KIB,
+        lanes=16,
+        program_time=1.3 * units.MSEC,
+        read_sense=0.075 * units.MSEC,
+        read_transfer_per_kib=0.019 * units.MSEC,
+        erase_time=2.0 * units.MSEC,
+        link_bandwidth=600 * units.MIB,
+        command_overhead=55 * units.USEC,
+        flush_fixed=1.9 * units.MSEC,
+        map_persist_flush=0.5 * units.MSEC,
+        map_persist_writethrough=0.66 * units.MSEC,
+        flush_cache_off_cost=1.9 * units.MSEC,
+        cache_hit_time=5 * units.USEC,
+        overprovision=0.07,
+    ):
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        # Total device DRAM; most of it holds the mapping table (the
+        # paper's 480GB drive needs 480MB of map for 4KB pages), only
+        # ``write_buffer_bytes`` of it buffers writes (Section 3.1.1).
+        self.cache_bytes = cache_bytes
+        self.write_buffer_bytes = write_buffer_bytes
+        self.mapping_unit = mapping_unit
+        self.nand_page = nand_page
+        self.lanes = lanes
+        self.program_time = program_time
+        self.read_sense = read_sense
+        self.read_transfer_per_kib = read_transfer_per_kib
+        self.erase_time = erase_time
+        self.link_bandwidth = link_bandwidth
+        self.command_overhead = command_overhead
+        self.flush_fixed = flush_fixed
+        self.map_persist_flush = map_persist_flush
+        self.map_persist_writethrough = map_persist_writethrough
+        self.flush_cache_off_cost = flush_cache_off_cost
+        self.cache_hit_time = cache_hit_time
+        self.overprovision = overprovision
+
+    def replace(self, **overrides):
+        """A copy of this spec with some fields overridden."""
+        fields = dict(self.__dict__)
+        fields.update(overrides)
+        return SSDSpec(**fields)
+
+
+class FlashSSD(StorageDevice):
+    """Volatile-write-cache SSD on top of the flash substrate."""
+
+    def __init__(self, sim, spec, cache_enabled=True):
+        super().__init__(sim, spec.name, link_bandwidth=spec.link_bandwidth,
+                         command_overhead=spec.command_overhead)
+        self.spec = spec
+        self.cache_enabled = cache_enabled
+        geometry = FlashGeometry.scaled(
+            # Leave headroom over the exported LBA space for OP blocks.
+            int(spec.capacity_bytes * (1.0 + spec.overprovision) * 1.05),
+            page_size=spec.nand_page)
+        timing = FlashTiming(program=spec.program_time,
+                             read_sense=spec.read_sense,
+                             read_transfer_per_kib=spec.read_transfer_per_kib,
+                             erase=spec.erase_time)
+        self.array = FlashArray(sim, geometry, timing, lanes=spec.lanes)
+        self.ftl = PageMappingFTL(sim, self.array,
+                                  mapping_unit=spec.mapping_unit,
+                                  overprovision=spec.overprovision)
+        # LBAs are 4KiB; the FTL's logical slot is the mapping unit.
+        self._lbas_per_slot = max(1, spec.mapping_unit // units.LBA_SIZE)
+        self.exported_lbas = min(
+            spec.capacity_bytes // units.LBA_SIZE,
+            self.ftl.exported_slots * (spec.mapping_unit // units.LBA_SIZE)
+            if spec.mapping_unit >= units.LBA_SIZE else 0)
+
+        cache_slots = max(1, spec.write_buffer_bytes // units.LBA_SIZE)
+        self.cache = WriteCache(cache_slots)
+        self._space_waiters = []
+        self._drain_waiters = []  # (snapshot_sequence, event)
+        self._inflight_sequences = set()
+        self._flusher_wakeup = None
+        self._power_on_event = None
+        if cache_enabled:
+            sim.process(self._flusher())
+
+    # --- LBA <-> FTL slot mapping -------------------------------------------
+    # The FTL's mapping unit may be 8KB (two LBAs per slot, conventional
+    # SSDs) or 4KB (one LBA per slot, DuraSSD).  With an 8KB unit a
+    # lone-LBA write still rewrites the whole slot; we model the cost by
+    # issuing the program for the containing slot and storing per-LBA
+    # values inside a composite slot value.
+
+    def _slot_of_lba(self, lba):
+        return lba // self._lbas_per_slot
+
+    def _check_range(self, request):
+        if request.lba + request.nblocks > self.exported_lbas:
+            raise ValueError("I/O beyond device capacity: %r" % request)
+
+    # --- write path -----------------------------------------------------------
+    def _write(self, request):
+        self._check_range(request)
+        if self.cache_enabled:
+            yield from self._write_cached(request)
+        else:
+            yield from self._write_through(request)
+
+    def _write_cached(self, request):
+        # Flow control: block while the cache is full (Section 3.1.1).
+        while self.cache.is_full:
+            waiter = self.sim.event()
+            self._space_waiters.append(waiter)
+            yield waiter
+            if not self.powered:
+                raise PowerFailedError(self.name)
+        for index, lba in enumerate(request.blocks):
+            self.cache.put(lba, request.payload[index])
+        self._wake_flusher()
+
+    def _write_through(self, request):
+        items = self._slot_items(request)
+        yield from self.ftl.write_slots(items)
+        # Conventional write-through persists the mapping delta for every
+        # command — the dominant cost the paper attributes to "cache off".
+        yield self.sim.timeout(self.spec.map_persist_writethrough)
+        self.ftl.mark_mapping_persisted()
+
+    def _slot_items(self, request):
+        """Convert an LBA-range write into FTL slot writes.
+
+        For multi-LBA slots the slot value is a dict of per-LBA values,
+        merged over whatever the slot already holds.
+        """
+        if self._lbas_per_slot == 1:
+            return [(lba, request.payload[index])
+                    for index, lba in enumerate(request.blocks)]
+        by_slot = {}
+        for index, lba in enumerate(request.blocks):
+            slot = self._slot_of_lba(lba)
+            merged = by_slot.get(slot)
+            if merged is None:
+                merged = self._slot_base_content(slot)
+                by_slot[slot] = merged
+            merged[lba] = request.payload[index]
+        return list(by_slot.items())
+
+    def _slot_base_content(self, slot):
+        existing = self.ftl.stored_value(slot)
+        if isinstance(existing, dict):
+            return dict(existing)
+        return {}
+
+    # --- read path -------------------------------------------------------------
+    def _read(self, request):
+        self._check_range(request)
+        values = []
+        flash_lbas = []
+        for lba in request.blocks:
+            if self.cache_enabled and lba in self.cache:
+                values.append(self.cache.get(lba))
+            else:
+                values.append(None)
+                flash_lbas.append((len(values) - 1, lba))
+        if flash_lbas:
+            readers = [self.sim.process(self._read_slot_for(lba))
+                       for _index, lba in flash_lbas]
+            results = yield self.sim.all_of(readers)
+            for (index, _lba), value in zip(flash_lbas, results):
+                values[index] = value
+        else:
+            yield self.sim.timeout(self.spec.cache_hit_time)
+        return values
+
+    def _read_slot_for(self, lba):
+        slot = self._slot_of_lba(lba)
+        value = yield from self.ftl.read_slot(slot)
+        return self._extract_lba(value, lba)
+
+    def _extract_lba(self, slot_value, lba):
+        if self._lbas_per_slot == 1:
+            return slot_value
+        if slot_value is TORN:
+            return TORN
+        if isinstance(slot_value, dict):
+            return slot_value.get(lba)
+        return None
+
+    # --- flusher ----------------------------------------------------------------
+    def _flusher(self):
+        batch_slots = self.spec.lanes * self.ftl.slots_per_page * self._lbas_per_slot
+        while True:
+            if not self.powered:
+                yield self._require_power()
+                continue
+            batch = self.cache.take_batch(batch_slots)
+            if not batch:
+                self._flusher_wakeup = self.sim.event()
+                yield self._flusher_wakeup
+                continue
+            sequences = {sequence for _lba, sequence, _value in batch}
+            self._inflight_sequences |= sequences
+            try:
+                yield from self._flush_batch(batch)
+            finally:
+                self._inflight_sequences -= sequences
+            if self.powered:
+                for lba, sequence, _value in batch:
+                    self.cache.confirm_flushed(lba, sequence)
+                self._notify_space()
+                self._notify_drain_waiters()
+
+    def _flush_batch(self, batch):
+        items = self._batch_slot_items(batch)
+        yield from self.ftl.write_slots(items)
+
+    def _batch_slot_items(self, batch):
+        if self._lbas_per_slot == 1:
+            return [(lba, value) for lba, _sequence, value in batch]
+        by_slot = {}
+        for lba, _sequence, value in batch:
+            slot = self._slot_of_lba(lba)
+            merged = by_slot.get(slot)
+            if merged is None:
+                merged = self._slot_base_content(slot)
+                by_slot[slot] = merged
+            merged[lba] = value
+        return list(by_slot.items())
+
+    def _wake_flusher(self):
+        if self._flusher_wakeup is not None and not self._flusher_wakeup.triggered:
+            self._flusher_wakeup.succeed()
+            self._flusher_wakeup = None
+
+    def _notify_space(self):
+        while self._space_waiters and not self.cache.is_full:
+            self._space_waiters.pop(0).succeed()
+
+    def _notify_drain_waiters(self):
+        still_waiting = []
+        for snapshot, event in self._drain_waiters:
+            if self._drained_through(snapshot):
+                event.succeed()
+            else:
+                still_waiting.append((snapshot, event))
+        self._drain_waiters = still_waiting
+
+    def _drained_through(self, snapshot):
+        if any(sequence <= snapshot for sequence in self._inflight_sequences):
+            return False
+        return self.cache.drained_up_to(snapshot)
+
+    def _require_power(self):
+        if self._power_on_event is None:
+            self._power_on_event = self.sim.event()
+        return self._power_on_event
+
+    # --- flush-cache command -------------------------------------------------
+    def _do_flush(self):
+        if not self.cache_enabled:
+            # Nothing buffered; devices still burn time on the command.
+            yield self.sim.timeout(self.spec.flush_cache_off_cost)
+            return
+        snapshot = self.cache.last_sequence
+        if not self._drained_through(snapshot):
+            waiter = self.sim.event()
+            self._drain_waiters.append((snapshot, waiter))
+            self._wake_flusher()
+            yield waiter
+        yield self.sim.timeout(self.spec.flush_fixed + self.spec.map_persist_flush)
+        self.ftl.mark_mapping_persisted()
+
+    # --- power failure ----------------------------------------------------------
+    def power_fail(self):
+        super().power_fail()
+        # Tear whatever NAND programs were in flight at the cut instant.
+        self.ftl.sever_inflight_programs()
+        # Volatile DRAM: buffered writes and the mapping delta vanish.
+        self.cache.clear()
+        self.ftl.revert_unpersisted_mapping()
+
+    def reboot(self):
+        self.powered = True
+        if self._power_on_event is not None:
+            self._power_on_event.succeed()
+            self._power_on_event = None
+        # Conventional device: no replay to do; mapping already reverted.
+        return 0.0
+
+    def install_persistent(self, lba, value):
+        if self.cache_enabled and lba in self.cache:
+            # A (possibly durable, replayed) cached copy would shadow the
+            # installed value: recovery overrides it in place.
+            self.cache.put(lba, value)
+        slot = self._slot_of_lba(lba)
+        if self._lbas_per_slot == 1:
+            slot_value = value
+        else:
+            slot_value = self._slot_base_content(slot)
+            slot_value[lba] = value
+        ppn = self.ftl._allocate_page()
+        pslot = ppn * self.ftl.slots_per_page
+        self.ftl._commit_slot(slot, pslot, slot_value)
+        self.ftl._shadow.pop(slot, None)  # installed durably: not dirty
+
+    def read_persistent(self, lba):
+        if self.cache_enabled and lba in self.cache:
+            # Only a durable cache would still hold data after reboot; for
+            # the volatile device the cache was cleared at power_fail.
+            return self.cache.get(lba)
+        slot = self._slot_of_lba(lba)
+        return self._extract_lba(self.ftl.stored_value(slot), lba)

@@ -1,0 +1,116 @@
+"""The device-internal DRAM write cache.
+
+Models the buffer pool of Section 3.1.1: a FIFO of buffered page writes
+with *deduplication* (when a page is updated again while still buffered,
+the older copy is discarded — improving endurance) and a monotonic
+sequence number used to give flush-cache its "everything received before
+the command" semantics.
+
+Whether the cache survives power failure is the *device's* property
+(tantalum capacitors or not); this class just stores the data.
+"""
+
+from collections import deque
+
+
+class CacheEntry:
+    __slots__ = ("value", "sequence")
+
+    def __init__(self, value, sequence):
+        self.value = value
+        self.sequence = sequence
+
+
+class WriteCache:
+    """FIFO write-back cache keyed by LBA with last-copy-wins dedup."""
+
+    def __init__(self, capacity_slots):
+        if capacity_slots < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity_slots = capacity_slots
+        self._entries = {}
+        self._order = deque()  # (lba, sequence); stale pairs skipped lazily
+        self._next_sequence = 0
+        self.dedup_hits = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, lba):
+        return lba in self._entries
+
+    @property
+    def is_full(self):
+        return len(self._entries) >= self.capacity_slots
+
+    @property
+    def last_sequence(self):
+        """Sequence of the most recently accepted write (-1 when none)."""
+        return self._next_sequence - 1
+
+    def get(self, lba):
+        entry = self._entries.get(lba)
+        return entry.value if entry is not None else None
+
+    def put(self, lba, value):
+        """Buffer a write; returns its sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        if lba in self._entries:
+            self.dedup_hits += 1
+        self._entries[lba] = CacheEntry(value, sequence)
+        self._order.append((lba, sequence))
+        return sequence
+
+    def take_batch(self, max_slots):
+        """Pop up to ``max_slots`` oldest live entries for flushing.
+
+        Entries stay in the cache (reads must still hit them) until
+        :meth:`confirm_flushed`; what "taken" means is that this batch is
+        now the flusher's responsibility.
+        """
+        batch = []
+        while self._order and len(batch) < max_slots:
+            lba, sequence = self._order.popleft()
+            entry = self._entries.get(lba)
+            if entry is None or entry.sequence != sequence:
+                continue  # superseded or already flushed: stale queue node
+            batch.append((lba, sequence, entry.value))
+        return batch
+
+    def requeue(self, batch):
+        """Return an unfinished batch to the head of the queue (power-up)."""
+        for lba, sequence, _value in reversed(batch):
+            self._order.appendleft((lba, sequence))
+
+    def confirm_flushed(self, lba, sequence):
+        """Drop the entry if it has not been overwritten since ``sequence``."""
+        entry = self._entries.get(lba)
+        if entry is not None and entry.sequence == sequence:
+            del self._entries[lba]
+
+    def oldest_pending_sequence(self):
+        """Sequence of the oldest un-flushed entry, or None when drained."""
+        while self._order:
+            lba, sequence = self._order[0]
+            entry = self._entries.get(lba)
+            if entry is None or entry.sequence != sequence:
+                self._order.popleft()
+                continue
+            return sequence
+        return None
+
+    def drained_up_to(self, sequence):
+        """True when every write accepted at or before ``sequence`` is gone
+        from the queue (flushed or superseded-and-flushed)."""
+        oldest = self.oldest_pending_sequence()
+        return oldest is None or oldest > sequence
+
+    def snapshot(self):
+        """{lba: value} of everything currently buffered (dump support)."""
+        return {lba: entry.value for lba, entry in self._entries.items()}
+
+    def clear(self):
+        """Volatile power loss: everything buffered vanishes."""
+        self._entries.clear()
+        self._order.clear()

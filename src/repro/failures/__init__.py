@@ -1,0 +1,21 @@
+"""Power-fault injection and post-crash ACID checking."""
+
+from .checker import (
+    CheckReport,
+    Violation,
+    check_device,
+    check_write_order,
+    latest_acked_values,
+)
+from .injector import PowerCut, PowerFailureInjector, run_until_power_cut
+
+__all__ = [
+    "CheckReport",
+    "PowerCut",
+    "PowerFailureInjector",
+    "Violation",
+    "check_device",
+    "check_write_order",
+    "latest_acked_values",
+    "run_until_power_cut",
+]

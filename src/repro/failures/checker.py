@@ -1,0 +1,144 @@
+"""Post-crash correctness checking.
+
+Verifies, block by block, the three properties DuraSSD guarantees and
+volatile-cache devices violate (Sections 2.1, 2.2, 3.2, 3.3):
+
+* **durability** — every acknowledged write command is fully present;
+* **atomicity** — no command is *partially* present (torn/shorn);
+* **ordering** — for any LBA, the surviving value is not older than a
+  value that a later-acked overwrite of the same LBA replaced, and the
+  set of surviving commands per-LBA is consistent with ack order.
+
+Inputs come from the device's ``ack_log`` (enable ``record_acks``
+before the run) and its post-reboot ``read_persistent`` view.
+"""
+
+from ..flash.torn import is_torn
+
+
+class Violation:
+    """One detected anomaly."""
+
+    def __init__(self, kind, lba, expected, found, ack_sequence):
+        self.kind = kind
+        self.lba = lba
+        self.expected = expected
+        self.found = found
+        self.ack_sequence = ack_sequence
+
+    def __repr__(self):
+        return ("<Violation %s lba=%d expected=%r found=%r ack=%d>"
+                % (self.kind, self.lba, self.expected, self.found,
+                   self.ack_sequence))
+
+
+class CheckReport:
+    def __init__(self):
+        self.commands_checked = 0
+        self.lost_writes = []
+        self.torn_commands = []
+        self.shorn_blocks = []
+        self.stale_blocks = []
+
+    @property
+    def violations(self):
+        return (self.lost_writes + self.torn_commands + self.shorn_blocks
+                + self.stale_blocks)
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    def __repr__(self):
+        return ("<CheckReport commands=%d lost=%d torn=%d shorn=%d stale=%d>"
+                % (self.commands_checked, len(self.lost_writes),
+                   len(self.torn_commands), len(self.shorn_blocks),
+                   len(self.stale_blocks)))
+
+
+def latest_acked_values(ack_log):
+    """{lba: (value, ack_sequence)} for the newest acked write per LBA."""
+    latest = {}
+    for record in ack_log:
+        for index, lba in enumerate(record.blocks):
+            latest[lba] = (record.payload[index], record.sequence)
+    return latest
+
+
+def check_device(device, ack_log=None):
+    """Check a rebooted device against its ack log.
+
+    Every block of every acked command must read back as the value of
+    the *newest* acked write to that LBA (older acked values were
+    legitimately superseded).  TORN anywhere is a shorn write.  A
+    multi-block command that is the newest writer of all its blocks must
+    be present in full or counted torn.
+    """
+    if ack_log is None:
+        ack_log = device.ack_log
+    report = CheckReport()
+    latest = latest_acked_values(ack_log)
+
+    # per-LBA durability / staleness / shorn checks
+    for lba, (expected, sequence) in sorted(latest.items()):
+        found = device.read_persistent(lba)
+        if is_torn(found):
+            report.shorn_blocks.append(
+                Violation("shorn", lba, expected, found, sequence))
+        elif found is None:
+            report.lost_writes.append(
+                Violation("lost", lba, expected, found, sequence))
+        elif found != expected:
+            report.stale_blocks.append(
+                Violation("stale", lba, expected, found, sequence))
+
+    # command-level atomicity: among blocks where this command is still
+    # the newest writer, it must be all-there or (if superseded nowhere)
+    # all-absent — a mix is a torn command.
+    for record in ack_log:
+        report.commands_checked += 1
+        if record.nblocks < 2:
+            continue
+        owned = [index for index, lba in enumerate(record.blocks)
+                 if latest[lba][1] == record.sequence]
+        if len(owned) < 2:
+            continue
+        present = []
+        for index in owned:
+            lba = record.lba + index
+            found = device.read_persistent(lba)
+            present.append(found == record.payload[index])
+        if any(present) and not all(present):
+            report.torn_commands.append(
+                Violation("torn-command", record.lba,
+                          record.payload, None, record.sequence))
+    return report
+
+
+def check_write_order(device, ack_log=None):
+    """Ordering check: scan acked writes oldest->newest; once a write is
+    found missing, no *later* acked write may be present (prefix rule).
+
+    Only meaningful per-LBA-stream for devices claiming ordered
+    persistence; a durable-cache device passes trivially because nothing
+    is ever missing.  Returns the list of (missing_seq, present_seq)
+    inversions found.
+    """
+    if ack_log is None:
+        ack_log = device.ack_log
+    latest = latest_acked_values(ack_log)
+    inversions = []
+    first_missing = None
+    for record in ack_log:
+        # consider only blocks this record still owns
+        fully_owned = all(latest[lba][1] == record.sequence
+                          for lba in record.blocks)
+        if not fully_owned:
+            continue
+        present = all(device.read_persistent(lba) == record.payload[index]
+                      for index, lba in enumerate(record.blocks))
+        if not present and first_missing is None:
+            first_missing = record.sequence
+        elif present and first_missing is not None:
+            inversions.append((first_missing, record.sequence))
+    return inversions

@@ -1,0 +1,64 @@
+"""Power-fault injection (after Zheng et al., FAST'13 [33]).
+
+The injector cuts power at an arbitrary simulated instant: the
+simulation world freezes mid-I/O (StopSimulation), every device's
+``power_fail`` runs — volatile caches vanish, in-flight NAND programs
+and platter writes shear, DuraSSD dumps — and the experiment then
+inspects persistent state, optionally reboots, and continues.
+"""
+
+from ..sim.engine import StopSimulation
+
+
+class PowerCut:
+    """Record of one injected power failure."""
+
+    def __init__(self, at_time):
+        self.at_time = at_time
+        self.fired = False
+        self.device_reports = {}
+
+
+class PowerFailureInjector:
+    """Schedules and executes power cuts over a set of devices."""
+
+    def __init__(self, sim, devices):
+        self.sim = sim
+        self.devices = list(devices)
+        self.cuts = []
+
+    def schedule_cut(self, at_time):
+        """Arrange for the power to fail at ``at_time``; the ongoing
+        ``sim.run()`` stops at that instant."""
+        cut = PowerCut(at_time)
+        self.cuts.append(cut)
+
+        def fire(_sim):
+            self.execute_cut(cut)
+            raise StopSimulation()
+
+        self.sim.schedule(max(0.0, at_time - self.sim.now), fire)
+        return cut
+
+    def execute_cut(self, cut=None):
+        """Cut power right now (also usable without scheduling)."""
+        if cut is None:
+            cut = PowerCut(self.sim.now)
+            self.cuts.append(cut)
+        for device in self.devices:
+            cut.device_reports[device.name] = device.power_fail()
+        cut.fired = True
+        return cut
+
+    def reboot_all(self):
+        """Restore power everywhere; returns {device: recovery_seconds}."""
+        return {device.name: device.reboot() for device in self.devices}
+
+
+def run_until_power_cut(sim, injector, at_time):
+    """Convenience: schedule a cut, run to it, return the cut record."""
+    cut = injector.schedule_cut(at_time)
+    sim.run()
+    if not cut.fired:
+        raise RuntimeError("simulation drained before the scheduled cut")
+    return cut

@@ -1,0 +1,16 @@
+"""NAND flash substrate: geometry, chip timing, and the FTL."""
+
+from .chip import FlashArray, FlashTiming
+from .ftl import FlashFullError, PageMappingFTL
+from .geometry import FlashGeometry
+from .torn import TORN, is_torn
+
+__all__ = [
+    "FlashArray",
+    "FlashFullError",
+    "FlashGeometry",
+    "FlashTiming",
+    "PageMappingFTL",
+    "TORN",
+    "is_torn",
+]

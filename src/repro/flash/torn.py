@@ -1,0 +1,32 @@
+"""The torn-data sentinel.
+
+A slot whose contents were destroyed by a mid-operation power cut (a
+*shorn write* in the terminology of Zheng et al. [33]) reads back as
+:data:`TORN`.  Database-level checksums detect it exactly the way a real
+page checksum detects a half-written sector sequence.
+"""
+
+
+class _TornValue:
+    """Singleton marker for destroyed slot contents."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<TORN>"
+
+    def __reduce__(self):
+        return (_TornValue, ())
+
+
+TORN = _TornValue()
+
+
+def is_torn(value):
+    """True when ``value`` is the torn sentinel."""
+    return value is TORN

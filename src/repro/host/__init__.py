@@ -1,0 +1,18 @@
+"""Host I/O stack: NCQ, the file system (fsync/barrier policy), and fio."""
+
+from .filesystem import FSYNC_SYSCALL_TIME, FileHandle, FileSystem
+from .fio import FioJob, FioResult, run_fio
+from .ncq import CommandQueue
+from .trace import IOTracer, render_latency_histogram
+
+__all__ = [
+    "CommandQueue",
+    "FSYNC_SYSCALL_TIME",
+    "FileHandle",
+    "FileSystem",
+    "FioJob",
+    "FioResult",
+    "IOTracer",
+    "render_latency_histogram",
+    "run_fio",
+]

@@ -1,0 +1,62 @@
+"""SATA Native Command Queuing.
+
+NCQ lets the host keep up to 32 commands outstanding so the device can
+fill its internal pipelines (Section 3.1.1).  The paper's DuraSSD
+firmware implements an *ordered* NCQ so that persistence order matches
+arrival order even though flush-cache barriers are never issued
+(Section 3.3); a conventional queue is free to reorder.
+
+We model the queue-depth limit and, for the unordered variant, a bounded
+dispatch-reordering window, which is what produces unserializable write
+orderings on volatile devices after a power cut.
+"""
+
+from ..sim.resources import Resource
+
+
+class CommandQueue:
+    """Depth-limited command queue in front of a storage device."""
+
+    DEPTH = 32
+
+    def __init__(self, sim, device, depth=DEPTH, ordered=True,
+                 reorder_window=8, rng=None):
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.sim = sim
+        self.device = device
+        self.depth = depth
+        self.ordered = ordered
+        self.reorder_window = reorder_window
+        self._rng = rng
+        self._slots = Resource(sim, capacity=depth)
+        self._backlog = []
+        self.max_observed_depth = 0
+
+    @property
+    def outstanding(self):
+        return self._slots.in_use
+
+    def submit(self, request):
+        """Queue a request; returns its completion event."""
+        return self.sim.process(self._dispatch(request))
+
+    def _dispatch(self, request):
+        if not self.ordered and self._rng is not None and self.reorder_window > 1:
+            # An unordered queue may sit on a command briefly while later
+            # arrivals overtake it.
+            jitter = self._rng.random() * self.device.command_overhead \
+                * self.reorder_window
+            yield self.sim.timeout(jitter)
+        yield self._slots.acquire()
+        self.max_observed_depth = max(self.max_observed_depth,
+                                      self._slots.in_use)
+        try:
+            completed = yield self.device.submit(request)
+        finally:
+            self._slots.release()
+        return completed
+
+    def flush(self):
+        """Pass the flush-cache command through to the device."""
+        return self.device.flush_cache()

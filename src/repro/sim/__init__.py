@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel used by every layer of the stack."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Mutex, Resource, Store
+from .rng import ScrambledZipfGenerator, UniformGenerator, ZipfGenerator, make_rng
+from .stats import CounterSet, LatencyRecorder, ThroughputMeter
+from . import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CounterSet",
+    "Event",
+    "Interrupted",
+    "LatencyRecorder",
+    "Mutex",
+    "Process",
+    "Resource",
+    "ScrambledZipfGenerator",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "ThroughputMeter",
+    "Timeout",
+    "UniformGenerator",
+    "ZipfGenerator",
+    "make_rng",
+    "units",
+]

@@ -1,0 +1,384 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the familiar generator-coroutine style: a *process*
+is a Python generator that ``yield``s :class:`Event` objects and is
+resumed when they fire.  It is deliberately minimal — just enough to
+model an I/O stack — and fully deterministic: events scheduled for the
+same instant fire in schedule order.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> p1 = sim.process(worker(sim, 'a', 2.0))
+>>> p2 = sim.process(worker(sim, 'b', 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+import heapq
+from itertools import count
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback to halt :meth:`Simulator.run` immediately.
+
+    The power-failure injector uses this to freeze the simulated world at
+    the instant the power is cut.
+    """
+
+
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* (with a value or an exception) exactly once;
+    at its scheduled instant it becomes *processed* and its callbacks run.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+
+    @property
+    def triggered(self):
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self):
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self):
+        """True when the event carries a value rather than an exception."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The value (or exception) the event was triggered with."""
+        return self._value
+
+    def succeed(self, value=None, delay=0.0):
+        """Trigger the event successfully, firing after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError("event has already been triggered")
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        self.sim._push(self, delay)
+        return self
+
+    def fail(self, exception, delay=0.0):
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._state != _PENDING:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._state = _TRIGGERED
+        self.sim._push(self, delay)
+        return self
+
+    def _process(self):
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise SimulationError("negative timeout: %r" % delay)
+        super().__init__(sim)
+        self._value = value
+        self._state = _TRIGGERED
+        sim._push(self, delay)
+
+
+class Interrupted(Exception):
+    """Thrown into a process that was interrupted.
+
+    ``cause`` carries whatever the interrupter supplied (for example the
+    power-failure record).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Runs a generator, resuming it whenever the yielded event fires.
+
+    The process itself is an event: it triggers with the generator's
+    return value, or fails with its uncaught exception, so processes can
+    wait on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim, generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process requires a generator, got %r" % (generator,))
+        self._generator = generator
+        self._waiting_on = None
+        # Kick off at the current instant (deterministically ordered).
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self):
+        return self._state == _PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupted` into the process at the current instant."""
+        if not self.is_alive:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        poke = Event(self.sim)
+        poke.callbacks.append(lambda event: self._throw(Interrupted(cause)))
+        poke.succeed()
+
+    def _throw(self, exception):
+        if not self.is_alive:
+            return
+        try:
+            result = self._generator.throw(exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._terminate(exc)
+            return
+        self._wait_on(result)
+
+    def _resume(self, event):
+        self._waiting_on = None
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._terminate(exc)
+            return
+        self._wait_on(result)
+
+    def _wait_on(self, result):
+        if not isinstance(result, Event):
+            self._throw(SimulationError("process yielded a non-event: %r" % (result,)))
+            return
+        if result.processed:
+            # Already fired: resume on a fresh zero-delay event carrying
+            # the same outcome so ordering stays deterministic.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if result._ok:
+                relay.succeed(result._value)
+            else:
+                relay.fail(result._value)
+            self._waiting_on = relay
+        else:
+            result.callbacks.append(self._resume)
+            self._waiting_on = result
+
+    def _terminate(self, exc):
+        if self.callbacks or isinstance(exc, StopSimulation):
+            self.fail(exc)
+        else:
+            # Nobody is waiting on this process; surfacing the error at
+            # the simulator level beats swallowing it.
+            raise exc
+
+
+class AllOf(Event):
+    """Fires once every child event has fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = 0
+        for event in self._children:
+            if not isinstance(event, Event):
+                raise SimulationError("AllOf requires events, got %r" % (event,))
+        pending = [event for event in self._children if not event.processed]
+        self._remaining = len(pending)
+        if not self._remaining:
+            self._finish()
+        else:
+            for event in pending:
+                event.callbacks.append(self._child_done)
+
+    def _child_done(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if not self._remaining:
+            self._finish()
+
+    def _finish(self):
+        for event in self._children:
+            if not event._ok:
+                self.fail(event._value)
+                return
+        self.succeed([event._value for event in self._children])
+
+
+class AnyOf(Event):
+    """Fires with (index, value) of the first child event to fire."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim, events):
+        super().__init__(sim)
+        self._children = list(events)
+        done = [e for e in self._children if e.processed]
+        if done:
+            first = done[0]
+            index = self._children.index(first)
+            if first._ok:
+                self.succeed((index, first._value))
+            else:
+                self.fail(first._value)
+            return
+        for event in self._children:
+            event.callbacks.append(self._child_done)
+
+    def _child_done(self, event):
+        if self.triggered:
+            return
+        index = self._children.index(event)
+        if event._ok:
+            self.succeed((index, event._value))
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._sequence = count()
+        self._stopped = False
+
+    # --- scheduling -----------------------------------------------------
+    def _push(self, event, delay):
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), event))
+
+    def schedule(self, delay, callback):
+        """Run ``callback(sim)`` after ``delay``; returns the underlying event."""
+        event = Event(self)
+        event.callbacks.append(lambda _event: callback(self))
+        event.succeed(delay=delay)
+        return event
+
+    # --- factories ------------------------------------------------------
+    def event(self):
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        return Process(self, generator)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        return AnyOf(self, events)
+
+    # --- execution ------------------------------------------------------
+    def peek(self):
+        """Time of the next event, or None when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self):
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._process()
+
+    def run(self, until=None):
+        """Run until the queue drains or the clock passes ``until``.
+
+        A callback raising :class:`StopSimulation` halts the run at the
+        current instant (used by the power-failure injector); the
+        exception is absorbed and :meth:`run` returns normally.
+        """
+        self._stopped = False
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                self.step()
+        except StopSimulation:
+            self._stopped = True
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def run_until(self, event):
+        """Run until ``event`` is processed (for worlds with perpetual
+        background processes that would keep :meth:`run` spinning).
+
+        Raises if the queue drains first, or re-raises the event's
+        exception when it failed.
+        """
+        self._stopped = False
+        try:
+            while not event.processed:
+                if not self._heap:
+                    raise SimulationError("queue drained before the event fired")
+                self.step()
+        except StopSimulation:
+            self._stopped = True
+            return
+        if not event._ok:
+            raise event._value
+
+    @property
+    def stopped(self):
+        """True when the last run() was halted by StopSimulation."""
+        return self._stopped

@@ -1,0 +1,99 @@
+"""Synchronisation primitives for simulation processes.
+
+These mirror the usual concurrency toolbox: a counted :class:`Resource`
+(semaphore with FIFO fairness), a :class:`Store` (unbounded FIFO queue of
+items), and a :class:`Mutex` convenience wrapper.
+"""
+
+from collections import deque
+
+from .engine import Event, SimulationError
+
+
+class Resource:
+    """A capacity-limited resource acquired and released by processes.
+
+    Usage inside a process::
+
+        grant = yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim, capacity=1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def queue_length(self):
+        return len(self._waiters)
+
+    def acquire(self):
+        """Return an event that fires when a unit is granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Return one unit; hands it to the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Mutex(Resource):
+    """A Resource of capacity one."""
+
+    def __init__(self, sim):
+        super().__init__(sim, capacity=1)
+
+
+class Store:
+    """An unbounded FIFO channel between producer and consumer processes."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Deposit an item; wakes the longest-waiting getter immediately."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self):
+        """A snapshot list of queued items (for introspection in tests)."""
+        return list(self._items)

@@ -1,0 +1,38 @@
+"""Physical units used throughout the simulator.
+
+The simulated clock runs in *seconds* (floats).  Sizes are in bytes
+(ints).  These constants exist so device models and workloads read like
+the data sheets they are calibrated from.
+"""
+
+# --- time ---------------------------------------------------------------
+NSEC = 1e-9
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+MINUTE = 60.0
+
+# --- size ---------------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: The logical block size every device in this library addresses.
+#: 4KiB matches the flash-page-sized sectors DuraSSD exposes (paper 3.1.2).
+LBA_SIZE = 4 * KIB
+
+
+def lba_count(nbytes):
+    """Number of 4KiB logical blocks needed to hold ``nbytes``.
+
+    >>> lba_count(4096)
+    1
+    >>> lba_count(4097)
+    2
+    """
+    return (nbytes + LBA_SIZE - 1) // LBA_SIZE
+
+
+def to_mib(nbytes):
+    """Convert a byte count to MiB as a float (for reporting)."""
+    return nbytes / MIB

@@ -1,0 +1,27 @@
+"""Benchmark workloads: LinkBench, YCSB, TPC-C."""
+
+from .linkbench import (
+    LinkBenchConfig,
+    LinkBenchResult,
+    LinkBenchWorkload,
+    NodeSampler,
+    OPERATION_MIX,
+)
+from .tpcc import TPCCConfig, TPCCResult, TPCCWorkload, TRANSACTION_MIX
+from .ycsb import CORE_WORKLOADS, YCSBConfig, YCSBResult, YCSBWorkload
+
+__all__ = [
+    "CORE_WORKLOADS",
+    "LinkBenchConfig",
+    "LinkBenchResult",
+    "LinkBenchWorkload",
+    "NodeSampler",
+    "OPERATION_MIX",
+    "TPCCConfig",
+    "TPCCResult",
+    "TPCCWorkload",
+    "TRANSACTION_MIX",
+    "YCSBConfig",
+    "YCSBResult",
+    "YCSBWorkload",
+]

@@ -1,0 +1,101 @@
+"""The Yahoo! Cloud Serving Benchmark (Cooper et al., SoCC'10).
+
+YCSB models web-serving workloads as streams of single-record
+operations over a key space with Zipfian popularity.  The paper uses
+**Workload A** (50% reads / 50% updates) — the only core workload with
+writes — plus a 100%-update variant, against Couchbase (Table 5).
+
+All five core workloads are defined here so the library is usable
+beyond the paper's experiment.
+"""
+
+from ..sim import LatencyRecorder, ThroughputMeter
+from ..sim.rng import ScrambledZipfGenerator, make_rng
+
+#: the core YCSB workloads: (read %, update %, insert %, scan %)
+CORE_WORKLOADS = {
+    "A": {"read": 0.5, "update": 0.5},
+    "B": {"read": 0.95, "update": 0.05},
+    "C": {"read": 1.0},
+    "D": {"read": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"read": 0.5, "rmw": 0.5},
+}
+
+
+class YCSBConfig:
+    def __init__(self, workload="A", record_count=100_000,
+                 update_fraction=None, zipf_theta=0.99, seed=21):
+        if workload not in CORE_WORKLOADS:
+            raise ValueError("unknown YCSB workload: %r" % workload)
+        self.workload = workload
+        self.record_count = record_count
+        self.zipf_theta = zipf_theta
+        self.seed = seed
+        mix = dict(CORE_WORKLOADS[workload])
+        if update_fraction is not None:
+            # Table 5 also measures a 100%-update variant of workload A.
+            mix = {"read": 1.0 - update_fraction,
+                   "update": update_fraction}
+        self.mix = {op: weight for op, weight in mix.items() if weight > 0}
+
+
+class YCSBResult:
+    def __init__(self):
+        self.meter = ThroughputMeter("ycsb")
+        self.latency = LatencyRecorder("ops")
+        self.read_latency = LatencyRecorder("reads")
+        self.update_latency = LatencyRecorder("updates")
+
+    @property
+    def ops_per_second(self):
+        return self.meter.per_second()
+
+
+class YCSBWorkload:
+    """Drives a key-value engine exposing ``read(key, rng)`` and
+    ``update(key, rng)`` generators (the couchstore engine)."""
+
+    def __init__(self, engine, config):
+        self.engine = engine
+        self.config = config
+
+    def run(self, clients=1, ops_per_client=2000, warmup_ops=50):
+        sim = self.engine.sim
+        result = YCSBResult()
+        ops = list(self.config.mix.items())
+        names = [name for name, _w in ops]
+        weights = [weight for _n, weight in ops]
+
+        def client(index):
+            rng = make_rng((self.config.seed, index))
+            zipf = ScrambledZipfGenerator(self.config.record_count,
+                                          self.config.zipf_theta, rng)
+            for i in range(warmup_ops + ops_per_client):
+                if i == warmup_ops and index == 0:
+                    result.meter.start_window(sim.now)
+                name = rng.choices(names, weights=weights)[0]
+                key = zipf.next()
+                begin = sim.now
+                if name in ("update", "insert"):
+                    yield from self.engine.update(key, rng)
+                elif name == "rmw":
+                    yield from self.engine.read(key, rng)
+                    yield from self.engine.update(key, rng)
+                elif name == "scan":
+                    for offset in range(rng.randrange(1, 10)):
+                        yield from self.engine.read(key + offset, rng)
+                else:
+                    yield from self.engine.read(key, rng)
+                if i >= warmup_ops:
+                    latency = sim.now - begin
+                    result.latency.record(latency)
+                    if name == "read":
+                        result.read_latency.record(latency)
+                    elif name == "update":
+                        result.update_latency.record(latency)
+                    result.meter.record(sim.now)
+
+        done = sim.all_of([sim.process(client(i)) for i in range(clients)])
+        sim.run_until(done)
+        return result

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_process(sim, generator, until=None):
+    """Drive a generator process to completion and return its value.
+
+    Stops the instant the process finishes — background processes (device
+    flushers etc.) keep their pending events for later runs, so tests can
+    observe the world exactly at completion time.  Raises whatever the
+    process raised — test failures surface directly.
+    """
+    process = sim.process(generator)
+    while not process.processed:
+        if sim.peek() is None:
+            raise AssertionError("process did not finish (deadlock?)")
+        if until is not None and sim.peek() > until:
+            raise AssertionError("process did not finish by t=%r" % until)
+        sim.step()
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+def drain(sim, until=None):
+    """Run the simulator until idle (or ``until``)."""
+    sim.run(until=until)

@@ -1,0 +1,96 @@
+"""Unit tests for the bench plumbing (table rendering, setups, cells)."""
+
+import os
+
+import pytest
+
+from repro.bench import setups, table1, tableio
+from repro.sim import units
+
+
+class TestTableIO:
+    def test_render_basic(self):
+        text = tableio.render_table("T", ["a", "b"], [[1, 2.5], ["x", 10]])
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_render_large_numbers_comma_grouped(self):
+        text = tableio.render_table("T", ["n"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_ratio_note(self):
+        assert tableio.ratio_note(50, 100) == "x0.50"
+        assert tableio.ratio_note(50, 0) == "-"
+
+    def test_comparison_rows(self):
+        rows = tableio.comparison_rows([("r", 90.0, 100.0)])
+        assert rows[0][0] == "r"
+        assert rows[0][3] == "x0.90"
+
+
+class TestSetups:
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "128")
+        assert setups.scale_factor() == 128
+        assert setups.scaled_db_bytes() == 100 * units.GIB // 128
+
+    def test_quick_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert setups.quick_mode()
+        assert setups.ops_scale(100) == 25
+        monkeypatch.setenv("REPRO_QUICK", "0")
+        assert not setups.quick_mode()
+        assert setups.ops_scale(100) == 100
+
+    def test_scaled_buffer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "256")
+        assert setups.scaled(10) == 10 * units.GIB // 256
+
+    def test_device_makers(self):
+        sim = setups.fresh_world()
+        for kind in ("hdd", "ssd-a", "ssd-b", "durassd"):
+            device = setups.make_device(sim, kind)
+            assert device.exported_lbas > 0
+
+    def test_mysql_setup_builds_engine(self):
+        sim = setups.fresh_world()
+        engine, devices = setups.mysql_setup(sim, 8 * units.KIB,
+                                             barriers=False,
+                                             doublewrite=False)
+        assert engine.doublewrite is None
+        assert not engine.data_fs.barriers
+        assert len(devices) == 2
+
+    def test_commercial_setup_coalesces(self):
+        sim = setups.fresh_world()
+        engine, _devices = setups.commercial_setup(sim, 8 * units.KIB,
+                                                   barriers=True)
+        assert engine.data_fs.coalesce_barriers
+
+    def test_couchbase_setup(self):
+        sim = setups.fresh_world()
+        engine, devices = setups.couchbase_setup(sim, batch_size=10,
+                                                 barriers=False)
+        assert engine.config.batch_size == 10
+        assert len(devices) == 1
+
+
+class TestTable1Cells:
+    """Spot checks that single cells reproduce the paper's values."""
+
+    def test_durassd_fsync1_matches_paper(self):
+        iops = table1.measure_cell("durassd", "on", 1, ios=150)
+        assert iops == pytest.approx(225, rel=0.25)
+
+    def test_hdd_off_no_fsync_matches_paper(self):
+        iops = table1.measure_cell("hdd", "off", 0, ios=80)
+        assert iops == pytest.approx(158, rel=0.25)
+
+    def test_nobarrier_cell_is_fast(self):
+        iops = table1.measure_cell("durassd", "nobarrier", 1, ios=400)
+        assert iops > 10000
+
+    def test_paper_reference_table_complete(self):
+        for key in table1.ROWS:
+            assert len(table1.PAPER[key]) == len(table1.FSYNC_PERIODS)

@@ -1,0 +1,190 @@
+"""Unit and property tests for the paged B+-tree and the analytic shape."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import PagedBTree, SyntheticTable
+from repro.sim import units
+
+
+class TestBasicOperations:
+    def test_insert_search(self):
+        tree = PagedBTree(leaf_capacity=4, internal_capacity=4)
+        tree.insert(10, "a")
+        result = tree.search(10)
+        assert result.found and result.value == "a"
+
+    def test_search_missing(self):
+        tree = PagedBTree(leaf_capacity=4, internal_capacity=4)
+        tree.insert(10, "a")
+        assert not tree.search(11).found
+
+    def test_overwrite(self):
+        tree = PagedBTree(leaf_capacity=4, internal_capacity=4)
+        tree.insert(10, "a")
+        result = tree.insert(10, "b")
+        assert result.found
+        assert tree.search(10).value == "b"
+        assert tree.size == 1
+
+    def test_delete(self):
+        tree = PagedBTree(leaf_capacity=4, internal_capacity=4)
+        tree.insert(10, "a")
+        assert tree.delete(10).found
+        assert not tree.search(10).found
+        assert not tree.delete(10).found
+
+    def test_split_grows_depth(self):
+        tree = PagedBTree(leaf_capacity=2, internal_capacity=3)
+        assert tree.depth == 1
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.depth >= 3
+        tree.check_invariants()
+
+    def test_insert_reports_dirtied_pages(self):
+        tree = PagedBTree(leaf_capacity=2, internal_capacity=3)
+        plain = tree.insert(1, "x")
+        assert len(plain.dirtied) == 1
+        tree.insert(2, "x")
+        splitting = tree.insert(3, "x")  # leaf overflows
+        assert len(splitting.dirtied) >= 3  # leaf, sibling, new root
+
+    def test_access_path_root_to_leaf(self):
+        tree = PagedBTree(leaf_capacity=2, internal_capacity=3)
+        for key in range(30):
+            tree.insert(key, key)
+        path = tree.search(17).path
+        assert path[0] == tree.root.page_no
+        assert len(path) == tree.depth
+
+    def test_range_scan(self):
+        tree = PagedBTree(leaf_capacity=3, internal_capacity=4)
+        for key in range(50):
+            tree.insert(key, key * 10)
+        result = tree.range_scan(20, 7)
+        assert [k for k, _v in result.value] == list(range(20, 27))
+        assert len(result.path) > tree.depth  # walked extra leaves
+
+    def test_range_scan_past_end(self):
+        tree = PagedBTree(leaf_capacity=3, internal_capacity=4)
+        for key in range(10):
+            tree.insert(key, key)
+        result = tree.range_scan(8, 10)
+        assert [k for k, _v in result.value] == [8, 9]
+
+    def test_items_sorted(self):
+        tree = PagedBTree(leaf_capacity=3, internal_capacity=4)
+        for key in (5, 1, 9, 3, 7):
+            tree.insert(key, key)
+        assert [k for k, _v in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PagedBTree(leaf_capacity=1, internal_capacity=4)
+        with pytest.raises(ValueError):
+            PagedBTree(leaf_capacity=4, internal_capacity=2)
+
+    def test_for_page_size_capacities(self):
+        tree = PagedBTree.for_page_size(16 * units.KIB, record_bytes=220)
+        assert tree.leaf_capacity == 16 * units.KIB // 220
+        smaller = PagedBTree.for_page_size(4 * units.KIB, record_bytes=220)
+        assert smaller.leaf_capacity < tree.leaf_capacity
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=500),
+                    min_size=1, max_size=300))
+    def test_inserts_preserve_invariants(self, keys):
+        tree = PagedBTree(leaf_capacity=3, internal_capacity=4)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert tree.size == len(set(keys))
+        for key in set(keys):
+            assert tree.search(key).value == key * 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=120)),
+                    min_size=1, max_size=250))
+    def test_mixed_ops_match_dict(self, operations):
+        """The tree behaves exactly like a sorted dict."""
+        tree = PagedBTree(leaf_capacity=2, internal_capacity=3)
+        oracle = {}
+        for is_insert, key in operations:
+            if is_insert:
+                tree.insert(key, key)
+                oracle[key] = key
+            else:
+                tree.delete(key)
+                oracle.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == oracle
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_depth_is_logarithmic(self, n):
+        tree = PagedBTree(leaf_capacity=8, internal_capacity=8)
+        for key in range(n):
+            tree.insert(key, key)
+        # generous bound: ceil(log_4(n)) + 2
+        import math
+        assert tree.depth <= math.ceil(math.log(max(2, n), 4)) + 2
+
+
+class TestSyntheticTable:
+    def test_total_pages_consistent(self):
+        table = SyntheticTable("t", "t", 100_000, 220, 16 * units.KIB)
+        assert table.total_pages == sum(table.level_widths)
+        assert table.n_leaves == table.level_widths[-1]
+
+    def test_path_root_to_leaf(self):
+        table = SyntheticTable("t", "t", 100_000, 220, 16 * units.KIB)
+        path = table.path_for(12345)
+        assert len(path) == table.depth
+        assert path[0] == 0  # the root page
+        assert path[-1] >= table.level_offsets[-1]
+
+    def test_rank_out_of_range(self):
+        table = SyntheticTable("t", "t", 1000, 220, 16 * units.KIB)
+        with pytest.raises(ValueError):
+            table.leaf_of(1000)
+
+    def test_smaller_pages_deeper_trees(self):
+        big = SyntheticTable("t", "t", 3_000_000, 220, 16 * units.KIB)
+        small = SyntheticTable("t", "t", 3_000_000, 220, 4 * units.KIB)
+        assert small.depth >= big.depth
+        assert small.n_leaves > big.n_leaves
+
+    def test_adjacent_ranks_share_leaves(self):
+        table = SyntheticTable("t", "t", 100_000, 220, 16 * units.KIB)
+        assert table.leaf_of(0) == table.leaf_of(1)
+
+    def test_scan_covers_consecutive_leaves(self):
+        table = SyntheticTable("t", "t", 100_000, 220, 4 * units.KIB)
+        pages = table.pages_for_scan(5000, table.leaf_capacity * 3)
+        extra = pages[table.depth:]
+        assert len(extra) >= 2
+        assert extra == sorted(extra)
+
+    def test_internal_fraction_small(self):
+        table = SyntheticTable("t", "t", 1_000_000, 220, 16 * units.KIB)
+        assert table.internal_page_fraction() < 0.05
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=100, max_value=200_000),
+           st.sampled_from([4096, 8192, 16384]))
+    def test_shape_matches_real_tree(self, n_rows, page_size):
+        """The analytic shape agrees with a really-built B+-tree."""
+        table = SyntheticTable("t", "t", n_rows, 220, page_size)
+        real = PagedBTree(table.leaf_capacity, table.fanout)
+        # insert sorted (bulk-load style) into the real tree
+        step = max(1, n_rows // 3000)  # keep the build fast
+        for key in range(0, n_rows, step):
+            real.insert(key, key)
+        # depth agreement within one level (split policies differ by
+        # a constant fill factor)
+        assert abs(real.depth - table.depth) <= 1

@@ -1,0 +1,99 @@
+"""Tests for the commercial (O_DSYNC) engine."""
+
+import pytest
+
+from repro.db import CommercialConfig, CommercialEngine
+from repro.devices import make_durassd
+from repro.host import FileSystem
+from repro.sim import units
+
+from conftest import run_process
+
+
+def build(sim, barriers=True, page_size=8 * units.KIB):
+    data_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                         barriers=barriers, coalesce_barriers=True)
+    log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=barriers, coalesce_barriers=True)
+    engine = CommercialEngine(sim, data_fs, log_fs,
+                              CommercialConfig(
+                                  page_size=page_size,
+                                  buffer_pool_bytes=2 * units.MIB))
+    return engine
+
+
+class TestODSync:
+    def test_tables_opened_o_dsync(self, sim):
+        engine = build(sim)
+        engine.create_table("t", 10_000, 200)
+        assert engine.pagestore.space("t").handle.o_dsync
+
+    def test_page_flush_barriers_per_write(self, sim):
+        engine = build(sim, barriers=True)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+
+        before = engine.data_fs.counters["barriers_issued"]
+        run_process(sim, body())
+        # the O_DSYNC pwrite carried its own barrier
+        assert engine.data_fs.counters["barriers_issued"] > before
+
+    def test_nobarrier_skips_dsync_flush(self, sim):
+        engine = build(sim, barriers=False)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+
+        run_process(sim, body())
+        assert engine.data_fs.counters["barriers_issued"] == 0
+
+    def test_no_doublewrite_allowed(self):
+        with pytest.raises(ValueError):
+            CommercialConfig(doublewrite=True)
+
+    def test_flush_marks_frames_clean(self, sim):
+        engine = build(sim, barriers=False)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+            return frame
+
+        frame = run_process(sim, body())
+        assert not frame.dirty
+
+    def test_wal_rule_respected(self, sim):
+        engine = build(sim, barriers=False)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+
+        run_process(sim, body())
+        assert engine.wal.flushed_lsn >= 1

@@ -1,0 +1,140 @@
+"""Unit tests for the Couchbase-style append-only engine."""
+
+import pytest
+
+from repro.db.couchstore import CouchstoreConfig, CouchstoreEngine
+from repro.devices import make_durassd, make_ssd_a
+from repro.failures import PowerFailureInjector
+from repro.host import FileSystem
+from repro.sim import Simulator, units
+from repro.sim.rng import make_rng
+
+from conftest import run_process
+
+
+def build(sim, batch_size=1, barriers=True, device_maker=make_durassd):
+    device = device_maker(sim, capacity_bytes=2 * units.GIB)
+    fs = FileSystem(sim, device, barriers=barriers)
+    engine = CouchstoreEngine(sim, fs,
+                              CouchstoreConfig(batch_size=batch_size))
+    return engine, device
+
+
+class TestUpdatePath:
+    def test_update_appends_cow_path(self, sim):
+        engine, _device = build(sim)
+        rng = make_rng(1)
+        run_process(sim, engine.update(42, rng))
+        # ~20KB per update: 4 tree nodes + 1 doc block, plus the header
+        assert engine.counters["blocks_appended"] == engine.config.update_blocks
+        assert engine.config.update_blocks == 5
+
+    def test_sequences_monotonic(self, sim):
+        engine, _device = build(sim)
+        rng = make_rng(1)
+        first = run_process(sim, engine.update(1, rng))
+        second = run_process(sim, engine.update(2, rng))
+        assert second == first + 1
+        assert engine.latest == {1: first, 2: second}
+
+    def test_batch_commits_every_k(self, sim):
+        engine, _device = build(sim, batch_size=5)
+        rng = make_rng(1)
+        for key in range(12):
+            run_process(sim, engine.update(key, rng))
+        assert engine.counters["commits"] == 2
+        assert engine.acked_commit_seq == 10
+
+    def test_flush_forces_commit(self, sim):
+        engine, _device = build(sim, batch_size=100)
+        rng = make_rng(1)
+        run_process(sim, engine.update(1, rng))
+        assert engine.counters["commits"] == 0
+        run_process(sim, engine.flush())
+        assert engine.counters["commits"] == 1
+        assert engine.acked_commit_seq == 1
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            CouchstoreConfig(batch_size=0)
+
+    def test_file_wraps_instead_of_overflowing(self, sim):
+        engine, _device = build(sim)
+        engine.config.file_bytes = 0  # irrelevant post-create
+        rng = make_rng(1)
+        # enough updates to exceed the file: must not raise
+        engine.handle.size_blocks = engine.handle.nblocks - 2
+        run_process(sim, engine.update(9, rng))
+
+    def test_writer_mutex_serialises(self, sim):
+        engine, _device = build(sim, batch_size=1)
+        rng = make_rng(1)
+        done = sim.all_of([sim.process(engine.update(k, make_rng(k)))
+                           for k in range(5)])
+        sim.run_until(done)
+        assert engine.counters["updates"] == 5
+        assert engine._sequence == 5
+
+
+class TestReadPath:
+    def test_read_returns_latest(self, sim):
+        engine, _device = build(sim)
+        rng = make_rng(1)
+        seq = run_process(sim, engine.update(7, rng))
+        value = run_process(sim, engine.read(7, rng))
+        assert value == seq
+
+    def test_read_missing_returns_none(self, sim):
+        engine, _device = build(sim)
+        assert run_process(sim, engine.read(123, make_rng(1))) is None
+
+    def test_cache_ratio_respected(self, sim):
+        engine, _device = build(sim)
+        engine.config.cache_hit_ratio = 1.0
+        rng = make_rng(1)
+        run_process(sim, engine.update(1, rng))
+        run_process(sim, engine.read(1, rng))
+        assert engine.counters["cache_misses"] == 0
+        engine.config.cache_hit_ratio = 0.0
+        run_process(sim, engine.read(1, rng))
+        assert engine.counters["cache_misses"] == 1
+
+
+class TestCrashBehaviour:
+    def _crash_after(self, sim, engine, device, updates, barriers_used):
+        rng = make_rng(5)
+
+        def body():
+            for key in range(updates):
+                yield from engine.update(key, rng)
+
+        process = sim.process(body())
+        sim.run_until(process)
+        injector = PowerFailureInjector(sim, [device])
+        injector.execute_cut()
+        injector.reboot_all()
+
+    def test_durassd_recovers_all_commits(self, sim):
+        engine, device = build(sim, batch_size=1, barriers=False)
+        self._crash_after(sim, engine, device, 30, barriers_used=False)
+        assert engine.recovered_sequence() == engine.acked_commit_seq
+        assert engine.lost_acked_updates() == 0
+
+    def test_volatile_nobarrier_loses_tail(self, sim):
+        engine, device = build(sim, batch_size=1, barriers=False,
+                               device_maker=make_ssd_a)
+        self._crash_after(sim, engine, device, 30, barriers_used=False)
+        assert engine.lost_acked_updates() > 0
+
+    def test_volatile_with_barriers_keeps_commits(self, sim):
+        engine, device = build(sim, batch_size=1, barriers=True,
+                               device_maker=make_ssd_a)
+        self._crash_after(sim, engine, device, 15, barriers_used=True)
+        assert engine.lost_acked_updates() == 0
+
+    def test_uncommitted_batch_tail_not_counted(self, sim):
+        engine, device = build(sim, batch_size=50, barriers=False)
+        self._crash_after(sim, engine, device, 30, barriers_used=False)
+        # nothing was ever committed, so nothing acked was lost
+        assert engine.acked_commit_seq == 0
+        assert engine.lost_acked_updates() == 0

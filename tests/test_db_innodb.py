@@ -1,0 +1,221 @@
+"""Unit/integration tests for the InnoDB-style engine."""
+
+import pytest
+
+from repro.db import InnoDBConfig, InnoDBEngine
+from repro.devices import make_durassd
+from repro.host import FileSystem
+from repro.sim import units
+
+from conftest import run_process
+
+
+def make_engine(sim, page_size=8 * units.KIB, doublewrite=True,
+                barriers=False, buffer_bytes=2 * units.MIB):
+    data_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                         barriers=barriers)
+    log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=barriers)
+    config = InnoDBConfig(page_size=page_size, buffer_pool_bytes=buffer_bytes,
+                          doublewrite=doublewrite)
+    return InnoDBEngine(sim, data_fs, log_fs, config)
+
+
+class TestSchema:
+    def test_create_table_allocates_space(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+        assert table.total_pages > 0
+        assert engine.pagestore.space("t").n_pages == table.total_pages
+
+    def test_duplicate_table_rejected(self, sim):
+        engine = make_engine(sim)
+        engine.create_table("t", 1000, 200)
+        with pytest.raises(ValueError):
+            engine.create_table("t", 1000, 200)
+
+    def test_page_size_validation(self):
+        with pytest.raises(ValueError):
+            InnoDBConfig(page_size=5000)
+
+    def test_commercial_config_forbids_doublewrite(self):
+        from repro.db import CommercialConfig
+        with pytest.raises(ValueError):
+            CommercialConfig(doublewrite=True)
+
+
+class TestReadWrite:
+    def test_read_rank_touches_path(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+        run_process(sim, engine.read_rank(table, 42))
+        stats = engine.pool.stats
+        assert stats["misses"] == table.depth
+
+    def test_repeat_read_hits(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+        run_process(sim, engine.read_rank(table, 42))
+        run_process(sim, engine.read_rank(table, 42))
+        assert engine.pool.stats["hits"] >= table.depth
+
+    def test_commit_is_durable_oracle(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+
+        def txn_body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 42)
+            yield from engine.commit(txn)
+            return txn
+
+        txn = run_process(sim, txn_body())
+        assert txn.committed
+        key = (table.space_id, table.path_for(42)[-1])
+        assert engine.committed_versions[key] >= 1
+        assert engine.commit_log[-1][0] == txn.txn_id
+
+    def test_commit_flushes_log(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+
+        def txn_body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+
+        run_process(sim, txn_body())
+        assert engine.wal.flushed_lsn >= 1
+        assert engine.wal.counters["flushes"] >= 1
+
+    def test_locks_released_after_commit(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+
+        def txn_body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            return txn
+
+        txn = run_process(sim, txn_body())
+        assert txn.locks == []
+        key = (table.space_id, table.path_for(1)[-1])
+        assert engine.locks.owner_of(key) is None
+
+    def test_hot_page_writers_serialise(self, sim):
+        """Two txns on the same leaf: the second waits for commit one."""
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+        order = []
+
+        def writer(name):
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            order.append(("locked", name, sim.now))
+            yield from engine.commit(txn)
+            order.append(("committed", name, sim.now))
+
+        done = sim.all_of([sim.process(writer("a")),
+                           sim.process(writer("b"))])
+        sim.run_until(done)
+        # b could lock only after a committed
+        committed_a = next(t for kind, n, t in order
+                           if kind == "committed" and n == "a")
+        locked_b = next(t for kind, n, t in order
+                        if kind == "locked" and n == "b")
+        assert locked_b >= committed_a
+
+
+class TestFlushing:
+    def test_wal_rule_flushes_log_before_pages(self, sim):
+        """A dirty page cannot hit storage before its redo record."""
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            # do NOT commit; flush the page directly
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+
+        run_process(sim, body())
+        assert engine.wal.flushed_lsn >= 1  # redo went first
+
+    def test_doublewrite_marks_clean(self, sim):
+        engine = make_engine(sim)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+            return frame
+
+        frame = run_process(sim, body())
+        assert not frame.dirty
+
+    def test_cleaner_flushes_dirty_pages(self, sim):
+        engine = make_engine(sim, buffer_bytes=256 * units.KIB)
+        table = engine.create_table("t", 10_000, 200)
+
+        def body():
+            for rank in range(0, 4000, 37):
+                txn = engine.begin()
+                yield from engine.modify_rank(txn, table, rank)
+                yield from engine.commit(txn)
+            yield sim.timeout(1.0)  # give the cleaner time
+
+        run_process(sim, body())
+        assert engine.counters["pages_flushed"] > 0
+
+    def test_write_amplification_reporting(self, sim):
+        dwb_engine = make_engine(sim, doublewrite=True)
+        table = dwb_engine.create_table("t", 1000, 200)
+
+        def body(engine, table):
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+            leaf = table.path_for(1)[-1]
+            frame = engine.pool.get_resident((table.space_id, leaf))
+            yield from engine._flush_entries(
+                [(table.space_id, leaf, frame.version)])
+
+        run_process(sim, body(dwb_engine, table))
+        assert dwb_engine.write_amplification() == pytest.approx(2.0)
+
+
+class TestWarm:
+    def test_warm_fills_pool(self, sim):
+        engine = make_engine(sim, buffer_bytes=512 * units.KIB)
+        table = engine.create_table("t", 100_000, 200)
+        from repro.sim.rng import make_rng
+        rng = make_rng(5)
+
+        def stream():
+            while True:
+                yield table, rng.randrange(table.n_rows)
+
+        engine.warm(stream(), dirty_rng=rng)
+        assert engine.pool.free_frames <= engine.pool.capacity // 16
+
+    def test_warm_marks_some_dirty(self, sim):
+        engine = make_engine(sim, buffer_bytes=512 * units.KIB)
+        table = engine.create_table("t", 100_000, 200)
+        from repro.sim.rng import make_rng
+        rng = make_rng(5)
+
+        def stream():
+            while True:
+                yield table, rng.randrange(table.n_rows)
+
+        engine.warm(stream(), dirty_rng=rng, dirty_fraction=0.5)
+        assert engine.pool.dirty_count > 0

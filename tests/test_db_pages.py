@@ -1,0 +1,120 @@
+"""Unit tests for page tokens, torn detection, and the page store."""
+
+import pytest
+
+from repro.db import PageStore, TornPageError, page_tokens, try_verify_page, verify_page
+from repro.devices import make_durassd
+from repro.flash import TORN
+from repro.host import FileSystem
+from repro.sim import units
+
+from conftest import run_process
+
+
+class TestPageTokens:
+    def test_token_shape(self):
+        tokens = page_tokens("t", 5, 3, 16 * units.KIB)
+        assert len(tokens) == 4
+        assert tokens[0] == ("pg", "t", 5, 3, 0)
+        assert tokens[3] == ("pg", "t", 5, 3, 3)
+
+    def test_verify_roundtrip(self):
+        tokens = page_tokens("t", 5, 3, 8 * units.KIB)
+        assert verify_page("t", 5, tokens) == 3
+
+    def test_blank_page_verifies_as_none(self):
+        assert verify_page("t", 5, [None, None]) is None
+
+    def test_mixed_versions_is_torn(self):
+        tokens = page_tokens("t", 5, 3, 8 * units.KIB)
+        tokens[1] = ("pg", "t", 5, 4, 1)  # half old, half new
+        with pytest.raises(TornPageError, match="mixed versions"):
+            verify_page("t", 5, tokens)
+
+    def test_torn_sentinel_is_torn(self):
+        tokens = page_tokens("t", 5, 3, 8 * units.KIB)
+        tokens[0] = TORN
+        with pytest.raises(TornPageError, match="shorn"):
+            verify_page("t", 5, tokens)
+
+    def test_partially_blank_is_torn(self):
+        tokens = page_tokens("t", 5, 3, 8 * units.KIB)
+        tokens[1] = None
+        with pytest.raises(TornPageError, match="missing block"):
+            verify_page("t", 5, tokens)
+
+    def test_misdirected_block_is_torn(self):
+        tokens = page_tokens("t", 5, 3, 8 * units.KIB)
+        tokens[1] = ("pg", "t", 6, 3, 1)  # belongs to another page
+        with pytest.raises(TornPageError, match="misdirected"):
+            verify_page("t", 5, tokens)
+
+    def test_foreign_data_is_torn(self):
+        with pytest.raises(TornPageError, match="foreign"):
+            verify_page("t", 5, ["garbage", "noise"])
+
+    def test_try_verify_returns_error(self):
+        version, error = try_verify_page("t", 5, ["garbage", "noise"])
+        assert version is None
+        assert isinstance(error, TornPageError)
+
+    def test_try_verify_ok(self):
+        tokens = page_tokens("t", 1, 7, 8 * units.KIB)
+        version, error = try_verify_page("t", 1, tokens)
+        assert (version, error) == (7, None)
+
+
+class TestPageStore:
+    def _store(self, sim, page_size=8 * units.KIB):
+        fs = FileSystem(sim, make_durassd(sim), barriers=False)
+        store = PageStore(fs, page_size)
+        store.create_space("data", 128)
+        return store
+
+    def test_write_read_roundtrip(self, sim):
+        store = self._store(sim)
+        run_process(sim, store.write_page("data", 3, 1))
+        version = run_process(sim, store.read_page("data", 3))
+        assert version == 1
+
+    def test_blank_page_reads_none(self, sim):
+        store = self._store(sim)
+        assert run_process(sim, store.read_page("data", 7)) is None
+
+    def test_version_overwrite(self, sim):
+        store = self._store(sim)
+        run_process(sim, store.write_page("data", 3, 1))
+        run_process(sim, store.write_page("data", 3, 2))
+        assert run_process(sim, store.read_page("data", 3)) == 2
+
+    def test_page_out_of_space_rejected(self, sim):
+        store = self._store(sim)
+
+        def bad():
+            yield from store.write_page("data", 128, 1)
+
+        with pytest.raises(ValueError):
+            run_process(sim, bad())
+
+    def test_duplicate_space_rejected(self, sim):
+        store = self._store(sim)
+        with pytest.raises(ValueError):
+            store.create_space("data", 16)
+
+    def test_page_size_must_be_block_aligned(self, sim):
+        fs = FileSystem(sim, make_durassd(sim))
+        with pytest.raises(ValueError):
+            PageStore(fs, 5000)
+
+    def test_install_and_persistent_view(self, sim):
+        store = self._store(sim)
+        store.install_page("data", 9, 4)
+        version, error = store.persistent_page("data", 9)
+        assert (version, error) == (4, None)
+
+    def test_persistent_view_of_unflushed_volatile_write(self, sim):
+        """On a durable-cache device even un-drained writes persist."""
+        store = self._store(sim)
+        run_process(sim, store.write_page("data", 3, 1))
+        version, error = store.persistent_page("data", 3)
+        assert (version, error) == (1, None)

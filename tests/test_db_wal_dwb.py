@@ -1,0 +1,186 @@
+"""Unit tests for the write-ahead log and the double-write buffer."""
+
+import pytest
+
+from repro.db import DoubleWriteBuffer, PageStore, WriteAheadLog
+from repro.devices import make_durassd, make_ssd_a
+from repro.host import FileSystem
+from repro.sim import units
+
+from conftest import run_process
+
+
+def make_wal(sim, barriers=True, device=None):
+    device = device or make_durassd(sim)
+    fs = FileSystem(sim, device, barriers=barriers)
+    return WriteAheadLog(sim, fs, capacity_bytes=4 * units.MIB), device
+
+
+class TestAppendFlush:
+    def test_lsn_monotonic(self, sim):
+        wal, _dev = make_wal(sim)
+        first = wal.append(1, "t", 0, 1)
+        second = wal.append(1, "t", 1, 1)
+        assert second == first + 1
+        assert wal.current_lsn == second
+
+    def test_flush_makes_durable(self, sim):
+        wal, _dev = make_wal(sim)
+        lsn = wal.append(1, "t", 0, 1)
+        run_process(sim, wal.flush_to(lsn))
+        assert wal.flushed_lsn >= lsn
+        assert wal.counters["flushes"] == 1
+
+    def test_flush_to_already_flushed_is_free(self, sim):
+        wal, _dev = make_wal(sim)
+        lsn = wal.append(1, "t", 0, 1)
+        run_process(sim, wal.flush_to(lsn))
+        start = sim.now
+        run_process(sim, wal.flush_to(lsn))
+        assert sim.now == start  # nothing to do
+
+    def test_group_commit_shares_one_flush(self, sim):
+        wal, _dev = make_wal(sim)
+        lsns = [wal.append(txn, "t", txn, 1) for txn in range(10)]
+        workers = [sim.process(wal.flush_to(lsn)) for lsn in lsns]
+        done = sim.all_of(workers)
+        sim.run_until(done)
+        # far fewer physical flushes than committers
+        assert wal.counters["flushes"] <= 2
+        assert wal.counters["group_commits"] >= 1
+
+    def test_log_wraps_within_capacity(self, sim):
+        wal, _dev = make_wal(sim)
+        for round_no in range(300):
+            lsn = wal.append(round_no, "t", 0, round_no, nbytes=64 * 1024)
+            run_process(sim, wal.flush_to(lsn))
+        assert wal.used_bytes <= wal.capacity_bytes
+
+
+class TestRecoveryRecords:
+    def test_durable_device_keeps_everything_acked(self, sim):
+        wal, _dev = make_wal(sim, barriers=False)
+        lsn = wal.append(1, "t", 0, 1)
+        run_process(sim, wal.flush_to(lsn))
+        assert len(wal.surviving_records(log_device_durable=True)) == 1
+
+    def test_volatile_nobarrier_loses_the_tail(self, sim):
+        wal, _dev = make_wal(sim, barriers=False,
+                             device=make_ssd_a(sim))
+        lsn = wal.append(1, "t", 0, 1)
+        run_process(sim, wal.flush_to(lsn))
+        # no barrier was ever issued: nothing is really durable
+        assert wal.surviving_records(log_device_durable=False) == []
+
+    def test_volatile_with_barriers_keeps_flushed(self, sim):
+        wal, _dev = make_wal(sim, barriers=True, device=make_ssd_a(sim))
+        lsn = wal.append(1, "t", 0, 1)
+        run_process(sim, wal.flush_to(lsn))
+        unflushed = wal.append(2, "t", 1, 1)
+        survivors = wal.surviving_records(log_device_durable=False)
+        assert [r.lsn for r in survivors] == [lsn]
+        del unflushed
+
+    def test_full_page_image_costs_page_bytes(self, sim):
+        """PostgreSQL-style full-page writes inflate the log."""
+        wal, _dev = make_wal(sim)
+        wal.append_page_image(1, "t", 0, 1, page_size=16 * units.KIB)
+        assert wal._buffered_bytes == 16 * units.KIB
+
+
+class TestDoubleWrite:
+    def _setup(self, sim, barriers=True):
+        fs = FileSystem(sim, make_durassd(sim), barriers=barriers)
+        store = PageStore(fs, 8 * units.KIB)
+        store.create_space("t", 64)
+        dwb = DoubleWriteBuffer(sim, store, fs)
+        return store, dwb, fs
+
+    def test_flush_writes_home_pages(self, sim):
+        store, dwb, fs = self._setup(sim)
+        entries = [("t", 1, 5), ("t", 2, 3)]
+        handles = {store.space("t").handle}
+        run_process(sim, dwb.flush_pages(entries, handles))
+        assert run_process(sim, store.read_page("t", 1)) == 5
+        assert run_process(sim, store.read_page("t", 2)) == 3
+
+    def test_two_fsyncs_per_batch(self, sim):
+        store, dwb, fs = self._setup(sim)
+        before = fs.counters["barriers_issued"]
+        run_process(sim, dwb.flush_pages([("t", 1, 1)],
+                                         {store.space("t").handle}))
+        assert fs.counters["barriers_issued"] - before == 2
+
+    def test_area_tracks_copies(self, sim):
+        store, dwb, _fs = self._setup(sim)
+        run_process(sim, dwb.flush_pages([("t", 1, 5)],
+                                         {store.space("t").handle}))
+        intact = dwb.persistent_area_pages()
+        assert ("t", 1, 5) in intact
+
+    def test_oversized_batch_splits(self, sim):
+        store, dwb, _fs = self._setup(sim)
+        big = [("t", i % 64, 1) for i in range(dwb.AREA_PAGES + 10)]
+        run_process(sim, dwb.flush_pages(big, {store.space("t").handle}))
+        assert dwb.counters["pages_written"] == len(big)
+        assert dwb.counters["batches"] >= 2
+
+    def test_empty_batch_is_noop(self, sim):
+        store, dwb, _fs = self._setup(sim)
+        run_process(sim, dwb.flush_pages([], set()))
+        assert dwb.counters["batches"] == 0
+
+    def test_batches_serialise_on_the_area(self, sim):
+        store, dwb, _fs = self._setup(sim)
+        handles = {store.space("t").handle}
+        p1 = sim.process(dwb.flush_pages([("t", 1, 1)], handles))
+        p2 = sim.process(dwb.flush_pages([("t", 2, 1)], handles))
+        done = sim.all_of([p1, p2])
+        sim.run_until(done)
+        assert dwb.counters["batches"] == 2
+
+
+class TestCheckpointAge:
+    def test_age_grows_with_appends(self, sim):
+        wal, _dev = make_wal(sim)
+        assert wal.checkpoint_age_bytes == 0
+        wal.append(1, "t", 0, 1, nbytes=1000)
+        assert wal.checkpoint_age_bytes == 1000
+        assert wal.checkpoint_pressure() == pytest.approx(
+            1000 / wal.capacity_bytes)
+
+    def test_advance_resets_age(self, sim):
+        wal, _dev = make_wal(sim)
+        wal.append(1, "t", 0, 1, nbytes=5000)
+        wal.advance_checkpoint()
+        assert wal.checkpoint_age_bytes == 0
+        assert wal.counters["checkpoints"] == 1
+
+    def test_engine_forces_checkpoint_under_log_pressure(self, sim):
+        from repro.db import InnoDBConfig, InnoDBEngine
+        from repro.devices import make_durassd
+        data_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                             barriers=False)
+        log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                            barriers=False)
+        engine = InnoDBEngine(sim, data_fs, log_fs,
+                              InnoDBConfig(buffer_pool_bytes=2 * units.MIB,
+                                           log_capacity_bytes=256 * units.KIB,
+                                           doublewrite=False))
+        table = engine.create_table("t", 50_000, 150)
+        from repro.sim.rng import make_rng
+        rng = make_rng(6)
+
+        def body():
+            # enough redo volume to cross 75% of the tiny log
+            for _ in range(900):
+                txn = engine.begin()
+                yield from engine.modify_rank(txn, table,
+                                              rng.randrange(table.n_rows))
+                yield from engine.commit(txn)
+            yield sim.timeout(0.2)  # cleaner gets a chance
+
+        process = sim.process(body())
+        sim.run_until(process)
+        assert engine.counters.get("forced_checkpoints", 0) >= 1
+        assert engine.wal.checkpoint_pressure() < 1.0

@@ -1,0 +1,122 @@
+"""Unit tests for the device-internal write cache."""
+
+import pytest
+
+from repro.devices import WriteCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = WriteCache(8)
+        cache.put(3, "v")
+        assert cache.get(3) == "v"
+        assert 3 in cache
+        assert len(cache) == 1
+
+    def test_get_missing_is_none(self):
+        assert WriteCache(8).get(0) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteCache(0)
+
+    def test_is_full(self):
+        cache = WriteCache(2)
+        cache.put(0, "a")
+        assert not cache.is_full
+        cache.put(1, "b")
+        assert cache.is_full
+
+    def test_sequences_monotonic(self):
+        cache = WriteCache(8)
+        assert cache.last_sequence == -1
+        first = cache.put(0, "a")
+        second = cache.put(1, "b")
+        assert second == first + 1
+        assert cache.last_sequence == second
+
+
+class TestDedup:
+    def test_overwrite_keeps_latest_only(self):
+        """Section 3.1.1: old copies of a re-updated page are discarded."""
+        cache = WriteCache(8)
+        cache.put(5, "old")
+        cache.put(5, "new")
+        assert len(cache) == 1
+        assert cache.get(5) == "new"
+        assert cache.dedup_hits == 1
+
+    def test_stale_queue_entry_skipped_in_batch(self):
+        cache = WriteCache(8)
+        cache.put(5, "old")
+        cache.put(5, "new")
+        batch = cache.take_batch(10)
+        assert len(batch) == 1
+        assert batch[0][2] == "new"
+
+
+class TestFlushProtocol:
+    def test_take_batch_leaves_entries_readable(self):
+        cache = WriteCache(8)
+        cache.put(1, "a")
+        cache.take_batch(1)
+        assert cache.get(1) == "a"  # reads still hit during flush
+
+    def test_confirm_flushed_removes_entry(self):
+        cache = WriteCache(8)
+        seq = cache.put(1, "a")
+        cache.take_batch(1)
+        cache.confirm_flushed(1, seq)
+        assert 1 not in cache
+
+    def test_confirm_ignores_superseded_entries(self):
+        cache = WriteCache(8)
+        seq = cache.put(1, "old")
+        cache.take_batch(1)
+        cache.put(1, "new")          # overwritten while flushing
+        cache.confirm_flushed(1, seq)
+        assert cache.get(1) == "new"  # the new copy must stay
+
+    def test_requeue_restores_order(self):
+        cache = WriteCache(8)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        batch = cache.take_batch(2)
+        cache.requeue(batch)
+        again = cache.take_batch(2)
+        assert [lba for lba, _s, _v in again] == [1, 2]
+
+    def test_drained_up_to(self):
+        cache = WriteCache(8)
+        s1 = cache.put(1, "a")
+        s2 = cache.put(2, "b")
+        assert not cache.drained_up_to(s1)
+        batch = cache.take_batch(1)
+        cache.confirm_flushed(1, batch[0][1])
+        assert cache.drained_up_to(s1)
+        assert not cache.drained_up_to(s2)
+
+    def test_oldest_pending_sequence_skips_superseded(self):
+        cache = WriteCache(8)
+        cache.put(1, "old")
+        newer = cache.put(1, "new")
+        assert cache.oldest_pending_sequence() == newer
+
+
+class TestVolatility:
+    def test_clear_drops_everything(self):
+        cache = WriteCache(8)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.take_batch(10) == []
+
+    def test_snapshot_is_full_copy(self):
+        cache = WriteCache(8)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        snap = cache.snapshot()
+        assert snap == {1: "a", 2: "b"}
+        cache.clear()
+        assert snap == {1: "a", 2: "b"}  # snapshot independent of cache

@@ -1,0 +1,311 @@
+"""Unit tests for the NAND substrate: geometry, array timing, FTL, GC."""
+
+import pytest
+
+from repro.flash import (
+    TORN,
+    FlashArray,
+    FlashGeometry,
+    FlashTiming,
+    PageMappingFTL,
+    is_torn,
+)
+from repro.sim import units
+
+from conftest import run_process
+
+
+def small_geometry(**overrides):
+    params = dict(channels=2, packages_per_channel=1, chips_per_package=1,
+                  planes_per_chip=2, blocks_per_plane=8, pages_per_block=8,
+                  page_size=8 * units.KIB)
+    params.update(overrides)
+    return FlashGeometry(**params)
+
+
+def make_ftl(sim, mapping_unit=4 * units.KIB, lanes=4, **geometry_overrides):
+    geometry = small_geometry(**geometry_overrides)
+    array = FlashArray(sim, geometry, FlashTiming(), lanes=lanes)
+    return PageMappingFTL(sim, array, mapping_unit=mapping_unit), array
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        geo = small_geometry()
+        assert geo.planes == 4
+        assert geo.total_blocks == 32
+        assert geo.total_pages == 256
+        assert geo.capacity_bytes == 256 * 8 * units.KIB
+
+    def test_block_page_relations(self):
+        geo = small_geometry()
+        assert geo.block_of_page(0) == 0
+        assert geo.block_of_page(8) == 1
+        assert list(geo.pages_of_block(1)) == list(range(8, 16))
+
+    def test_scaled_reaches_capacity(self):
+        geo = FlashGeometry.scaled(1 * units.GIB)
+        assert geo.capacity_bytes >= 1 * units.GIB
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            small_geometry(channels=0)
+
+
+class TestFlashArray:
+    def test_program_takes_program_time(self, sim):
+        array = FlashArray(sim, small_geometry(), FlashTiming(program=1e-3),
+                           lanes=2)
+        run_process(sim, array.program(0))
+        assert sim.now == pytest.approx(1e-3)
+        assert array.counters["programs"] == 1
+
+    def test_reads_scale_with_bytes(self, sim):
+        timing = FlashTiming(read_sense=1e-4, read_transfer_per_kib=1e-5)
+        array = FlashArray(sim, small_geometry(), timing, lanes=2)
+        run_process(sim, array.read(0, 8 * units.KIB))
+        assert sim.now == pytest.approx(1e-4 + 8 * 1e-5)
+
+    def test_parallel_lanes_overlap(self, sim):
+        array = FlashArray(sim, small_geometry(), FlashTiming(program=1e-3),
+                           lanes=4)
+        # pages in different blocks map to different lanes
+        processes = [sim.process(array.program(ppn)) for ppn in (0, 8, 16, 24)]
+        done = sim.all_of(processes)
+        sim.run()
+        assert done.processed
+        assert sim.now == pytest.approx(1e-3)  # fully parallel
+
+    def test_same_lane_serialises(self, sim):
+        array = FlashArray(sim, small_geometry(), FlashTiming(program=1e-3),
+                           lanes=4)
+        # same block -> same lane
+        processes = [sim.process(array.program(ppn)) for ppn in (0, 1)]
+        sim.all_of(processes)
+        sim.run()
+        assert sim.now == pytest.approx(2e-3)
+
+    def test_torn_program_tracking(self, sim):
+        array = FlashArray(sim, small_geometry(), FlashTiming(program=1e-3),
+                           lanes=2)
+        sim.process(array.program(5))
+        sim.run(until=0.5e-3)
+        assert array.torn_programs() == [5]
+        sim.run()
+        assert array.torn_programs() == []
+
+
+class TestFTLBasics:
+    def test_write_then_read_roundtrip(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(3, "hello")]))
+        value = run_process(sim, ftl.read_slot(3))
+        assert value == "hello"
+
+    def test_unmapped_slot_reads_none(self, sim):
+        ftl, _array = make_ftl(sim)
+        assert run_process(sim, ftl.read_slot(7)) is None
+        assert ftl.stored_value(7) is None
+
+    def test_overwrite_returns_latest(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(3, "v1")]))
+        run_process(sim, ftl.write_slots([(3, "v2")]))
+        assert run_process(sim, ftl.read_slot(3)) == "v2"
+
+    def test_pairing_halves_programs(self, sim):
+        """4KB slots pair into 8KB NAND pages: N slots -> N/2 programs."""
+        ftl, array = make_ftl(sim, mapping_unit=4 * units.KIB)
+        run_process(sim, ftl.write_slots([(i, i) for i in range(8)]))
+        assert ftl.counters["nand_page_writes"] == 4
+
+    def test_no_pairing_at_full_page_mapping(self, sim):
+        ftl, array = make_ftl(sim, mapping_unit=8 * units.KIB)
+        run_process(sim, ftl.write_slots([(i, i) for i in range(8)]))
+        assert ftl.counters["nand_page_writes"] == 8
+
+    def test_out_of_range_slot_rejected(self, sim):
+        ftl, _array = make_ftl(sim)
+
+        def bad():
+            yield from ftl.write_slots([(ftl.exported_slots, "x")])
+
+        with pytest.raises(ValueError):
+            run_process(sim, bad())
+
+    def test_mapping_unit_must_divide_page(self, sim):
+        geometry = small_geometry()
+        array = FlashArray(sim, geometry, FlashTiming(), lanes=2)
+        with pytest.raises(ValueError):
+            PageMappingFTL(sim, array, mapping_unit=3 * units.KIB)
+
+    def test_exported_slots_below_physical(self, sim):
+        ftl, array = make_ftl(sim)
+        physical = array.geometry.total_pages * ftl.slots_per_page
+        assert ftl.exported_slots < physical
+
+
+class TestMappingPersistence:
+    def test_dirty_entries_tracked(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(1, "a"), (2, "b")]))
+        assert ftl.dirty_mapping_entries == 2
+        ftl.mark_mapping_persisted()
+        assert ftl.dirty_mapping_entries == 0
+
+    def test_revert_drops_unpersisted_writes(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(1, "old")]))
+        ftl.mark_mapping_persisted()
+        run_process(sim, ftl.write_slots([(1, "new")]))
+        ftl.revert_unpersisted_mapping()
+        assert ftl.stored_value(1) == "old"
+
+    def test_revert_unmaps_never_persisted_slot(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(5, "only")]))
+        ftl.revert_unpersisted_mapping()
+        assert ftl.stored_value(5) is None
+
+    def test_delta_export_and_replay(self, sim):
+        """DuraSSD's dump path: export delta, revert, re-apply."""
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(1, "committed")]))
+        delta = ftl.export_mapping_delta()
+        ftl.revert_unpersisted_mapping()
+        assert ftl.stored_value(1) is None
+        ftl.apply_mapping_delta(delta)
+        assert ftl.stored_value(1) == "committed"
+
+    def test_replay_is_idempotent(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(1, "x"), (2, "y")]))
+        delta = ftl.export_mapping_delta()
+        ftl.revert_unpersisted_mapping()
+        ftl.apply_mapping_delta(delta)
+        first = {s: ftl.stored_value(s) for s in (1, 2)}
+        ftl.apply_mapping_delta(delta)
+        second = {s: ftl.stored_value(s) for s in (1, 2)}
+        assert first == second == {1: "x", 2: "y"}
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_space_under_churn(self, sim):
+        ftl, _array = make_ftl(sim)
+
+        def churn():
+            for round_no in range(80):
+                yield from ftl.write_slots([(i, (round_no, i))
+                                            for i in range(8)])
+
+        run_process(sim, churn())
+        assert ftl.counters["gc_runs"] > 0
+        # every slot still readable with its latest value
+        for i in range(8):
+            assert ftl.stored_value(i) == (79, i)
+
+    def test_gc_preserves_cold_data(self, sim):
+        ftl, _array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(100, "cold")]))
+
+        def churn():
+            for round_no in range(80):
+                yield from ftl.write_slots([(i, round_no) for i in range(8)])
+
+        run_process(sim, churn())
+        assert ftl.stored_value(100) == "cold"
+
+    def test_wear_accounted(self, sim):
+        ftl, _array = make_ftl(sim)
+
+        def churn():
+            for round_no in range(80):
+                yield from ftl.write_slots([(i, round_no) for i in range(8)])
+
+        run_process(sim, churn())
+        _min_wear, max_wear, total = ftl.wear()
+        assert total > 0
+        assert max_wear >= 1
+
+    def test_free_blocks_never_exhausted(self, sim):
+        ftl, _array = make_ftl(sim)
+
+        def churn():
+            for round_no in range(60):
+                yield from ftl.write_slots([(i % 16, (round_no, i))
+                                            for i in range(8)])
+
+        run_process(sim, churn())
+        assert ftl.free_blocks >= 1
+
+
+class TestPowerCutAtFlashLevel:
+    def test_severed_program_commits_nothing(self, sim):
+        ftl, array = make_ftl(sim)
+        sim.process(ftl.write_slots([(1, "doomed")]))
+        # cut power mid-program
+        sim.run(until=array.timing.program / 2)
+        ftl.sever_inflight_programs()
+        sim.run()
+        assert ftl.stored_value(1) is None
+
+    def test_prior_committed_data_survives_severing(self, sim):
+        ftl, array = make_ftl(sim)
+        run_process(sim, ftl.write_slots([(1, "safe")]))
+        ftl.mark_mapping_persisted()
+        sim.process(ftl.write_slots([(1, "doomed")]))
+        sim.run(until=sim.now + array.timing.program / 2)
+        ftl.sever_inflight_programs()
+        ftl.revert_unpersisted_mapping()
+        sim.run()
+        assert ftl.stored_value(1) == "safe"
+
+    def test_torn_sentinel_identity(self):
+        assert is_torn(TORN)
+        assert not is_torn(None)
+        assert not is_torn("data")
+        assert repr(TORN) == "<TORN>"
+
+
+class TestVictimPolicies:
+    def _churn(self, sim, policy, rounds=120):
+        from repro.sim.rng import make_rng
+        geometry = small_geometry(blocks_per_plane=10)
+        array = FlashArray(sim, geometry, FlashTiming(), lanes=4)
+        ftl = PageMappingFTL(sim, array, mapping_unit=4 * units.KIB,
+                             victim_policy=policy)
+        rng = make_rng(13)
+
+        def body():
+            for round_no in range(rounds):
+                # hot slots rewritten constantly, cold ones rarely
+                hot = [(rng.randrange(8), round_no) for _ in range(6)]
+                cold = ([(8 + rng.randrange(40), round_no)]
+                        if round_no % 4 == 0 else [])
+                yield from ftl.write_slots(hot + cold)
+
+        process = sim.process(body())
+        sim.run_until(process)
+        return ftl
+
+    def test_cost_benefit_collects_and_preserves_data(self, sim):
+        ftl = self._churn(sim, "cost-benefit")
+        assert ftl.counters["gc_runs"] > 0
+        # all hot slots still hold an integral round value (nothing torn)
+        for lslot in range(8):
+            value = ftl.stored_value(lslot)
+            assert value is None or isinstance(value, int)
+
+    def test_policies_validated(self, sim):
+        geometry = small_geometry()
+        array = FlashArray(sim, geometry, FlashTiming(), lanes=2)
+        with pytest.raises(ValueError):
+            PageMappingFTL(sim, array, victim_policy="random")
+
+    def test_both_policies_reclaim_space(self, sim):
+        greedy = self._churn(sim, "greedy")
+        from repro.sim import Simulator
+        other_sim = Simulator()
+        cb = self._churn(other_sim, "cost-benefit")
+        assert greedy.free_blocks >= 1
+        assert cb.free_blocks >= 1

@@ -1,0 +1,141 @@
+"""Model-based property tests for the core data structures.
+
+Each structure is driven by a random operation sequence alongside a
+trivially-correct oracle; divergence is a bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.locks import DeadlockError, LockManager
+from repro.devices import WriteCache
+from repro.sim import Simulator
+
+
+class TestWriteCacheModel:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["put", "flush_one"]),
+                              st.integers(min_value=0, max_value=12),
+                              st.integers(min_value=0, max_value=999)),
+                    max_size=200))
+    def test_matches_dict_oracle(self, operations):
+        """Reads must always see the latest put; drained entries vanish
+        only when not superseded."""
+        cache = WriteCache(10_000)
+        oracle = {}
+        in_flight = []
+        for op, lba, value in operations:
+            if op == "put":
+                cache.put(lba, value)
+                oracle[lba] = value
+            else:
+                batch = cache.take_batch(1)
+                if batch:
+                    in_flight.append(batch[0])
+            # invariant: every oracle entry still readable until flushed
+            for key, expected in oracle.items():
+                got = cache.get(key)
+                assert got is None or got == expected
+        # complete all in-flight flushes
+        for lba, sequence, _value in in_flight:
+            cache.confirm_flushed(lba, sequence)
+        # anything still cached must match the oracle exactly
+        for key in list(oracle):
+            got = cache.get(key)
+            if got is not None:
+                assert got == oracle[key]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=1,
+                    max_size=120))
+    def test_drain_preserves_every_latest_value(self, lbas):
+        """Fully draining the cache persists exactly the latest values."""
+        cache = WriteCache(1024)
+        oracle = {}
+        for index, lba in enumerate(lbas):
+            cache.put(lba, ("v", index))
+            oracle[lba] = ("v", index)
+        drained = {}
+        while True:
+            batch = cache.take_batch(4)
+            if not batch:
+                break
+            for lba, sequence, value in batch:
+                drained[lba] = value
+                cache.confirm_flushed(lba, sequence)
+        assert drained == oracle
+        assert len(cache) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=60))
+    def test_dedup_counts_rewrites(self, lbas):
+        cache = WriteCache(1024)
+        for lba in lbas:
+            cache.put(lba, lba)
+        assert cache.dedup_hits == len(lbas) - len(set(lbas))
+        assert len(cache) == len(set(lbas))
+
+
+class TestLockManagerStress:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                              st.integers(min_value=0, max_value=3)),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=2**30))
+    def test_no_lost_grants_no_false_deadlocks(self, plan, seed):
+        """Random transactions each lock a random key set in sorted
+        order (no cycles possible), hold briefly, release.  Everyone
+        must finish, with zero deadlock reports."""
+        sim = Simulator()
+        manager = LockManager(sim)
+        finished = []
+
+        def txn(txn_id, keys):
+            for key in sorted(set(keys)):
+                yield from manager.acquire(txn_id, key)
+            yield sim.timeout(0.001)
+            manager.release_all(txn_id)
+            finished.append(txn_id)
+
+        grouped = {}
+        for txn_id, key in plan:
+            grouped.setdefault(txn_id, []).append(key)
+        for txn_id, keys in grouped.items():
+            sim.process(txn(txn_id, keys))
+        sim.run()
+        assert sorted(finished) == sorted(grouped)
+        assert manager.counters["deadlocks"] == 0
+        for key in range(4):
+            assert manager.owner_of(key) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=2**30))
+    def test_opposite_order_rings_always_resolve(self, n_txns, seed):
+        """A ring of transactions each locking (i, i+1 mod n): classic
+        deadlock shape.  With abort-and-retry everyone finishes."""
+        sim = Simulator()
+        manager = LockManager(sim)
+        finished = []
+
+        def txn(i):
+            first, second = i, (i + 1) % n_txns
+            while True:
+                try:
+                    yield from manager.acquire(i, ("k", first))
+                    yield sim.timeout(0.0005)
+                    yield from manager.acquire(i, ("k", second))
+                except DeadlockError:
+                    manager.release_all(i)
+                    yield sim.timeout(0.0003)
+                    continue
+                yield sim.timeout(0.0002)
+                manager.release_all(i)
+                finished.append(i)
+                return
+
+        for i in range(n_txns):
+            sim.process(txn(i))
+        sim.run()
+        assert sorted(finished) == list(range(n_txns))

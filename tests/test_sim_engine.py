@@ -1,0 +1,256 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, StopSimulation
+
+from conftest import run_process
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        run_process(sim, self._sleep(sim, 2.5))
+        assert sim.now == 2.5
+
+    @staticmethod
+    def _sleep(sim, delay):
+        yield sim.timeout(delay)
+
+    def test_timeouts_fire_in_order(self, sim):
+        log = []
+
+        def waiter(delay, name):
+            yield sim.timeout(delay)
+            log.append(name)
+
+        sim.process(waiter(3.0, "c"))
+        sim.process(waiter(1.0, "a"))
+        sim.process(waiter(2.0, "b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_instant_fifo(self, sim):
+        """Events at the same instant fire in schedule order."""
+        log = []
+        for name in "abc":
+            sim.schedule(1.0, lambda _s, n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_early(self, sim):
+        done = []
+
+        def late():
+            yield sim.timeout(10.0)
+            done.append(True)
+
+        sim.process(late())
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert not done
+
+    def test_run_until_then_continue(self, sim):
+        done = []
+
+        def late():
+            yield sim.timeout(10.0)
+            done.append(True)
+
+        sim.process(late())
+        sim.run(until=5.0)
+        sim.run()
+        assert done == [True]
+        assert sim.now == 10.0
+
+    def test_run_until_beyond_queue_advances_clock(self, sim):
+        sim.process(self._sleep(sim, 1.0))
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+
+class TestEvents:
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed("payload")
+        value = run_process(sim, self._wait(event))
+        assert value == "payload"
+
+    @staticmethod
+    def _wait(event):
+        result = yield event
+        return result
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_raises_in_waiter(self, sim):
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            run_process(sim, self._wait(event))
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_wait_on_already_processed_event(self, sim):
+        """A process can wait on an event that fired long ago."""
+        event = sim.event()
+        event.succeed(41)
+        sim.run()
+        assert event.processed
+        value = run_process(sim, self._wait(event))
+        assert value == 41
+
+
+class TestProcesses:
+    def test_return_value_propagates(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return "result"
+
+        def parent():
+            value = yield sim.process(child())
+            return value + "!"
+
+        assert run_process(sim, parent()) == "result!"
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def parent():
+            yield sim.process(child())
+
+        with pytest.raises(RuntimeError, match="child died"):
+            run_process(sim, parent())
+
+    def test_unwaited_failure_surfaces(self, sim):
+        def doomed():
+            yield sim.timeout(1.0)
+            raise RuntimeError("nobody is listening")
+
+        sim.process(doomed())
+        with pytest.raises(RuntimeError, match="nobody is listening"):
+            sim.run()
+
+    def test_yield_non_event_is_error(self, sim):
+        def bad():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            run_process(sim, bad())
+
+    def test_interrupt_wakes_process(self, sim):
+        from repro.sim import Interrupted
+
+        caught = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted as interrupt:
+                caught.append((sim.now, interrupt.cause))
+
+        process = sim.process(sleeper())
+        sim.schedule(1.0, lambda _s: process.interrupt("power cut"))
+        sim.run()
+        assert caught == [(1.0, "power cut")]
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+
+class TestCompositeEvents:
+    def test_all_of_waits_for_every_child(self, sim):
+        def worker(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def parent():
+            children = [sim.process(worker(d)) for d in (3.0, 1.0, 2.0)]
+            values = yield sim.all_of(children)
+            return values
+
+        assert run_process(sim, parent()) == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def parent():
+            values = yield sim.all_of([])
+            return values
+
+        assert run_process(sim, parent()) == []
+
+    def test_all_of_fails_fast(self, sim):
+        def ok():
+            yield sim.timeout(5.0)
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise ValueError("first failure")
+
+        def parent():
+            yield sim.all_of([sim.process(ok()), sim.process(bad())])
+
+        with pytest.raises(ValueError, match="first failure"):
+            run_process(sim, parent())
+
+    def test_any_of_returns_first(self, sim):
+        def worker(delay, name):
+            yield sim.timeout(delay)
+            return name
+
+        def parent():
+            index, value = yield sim.any_of(
+                [sim.process(worker(2.0, "slow")),
+                 sim.process(worker(1.0, "fast"))])
+            return index, value, sim.now
+
+        assert run_process(sim, parent()) == (1, "fast", 1.0)
+
+
+class TestStopSimulation:
+    def test_stop_halts_run(self, sim):
+        log = []
+
+        def stopper(_s):
+            raise StopSimulation()
+
+        sim.schedule(1.0, lambda _s: log.append("early"))
+        sim.schedule(2.0, stopper)
+        sim.schedule(3.0, lambda _s: log.append("late"))
+        sim.run()
+        assert log == ["early"]
+        assert sim.now == 2.0
+        assert sim.stopped
+
+    def test_determinism_across_runs(self):
+        """Two identical simulations produce identical event traces."""
+        def trace():
+            sim = Simulator()
+            log = []
+
+            def worker(name, delay):
+                for i in range(3):
+                    yield sim.timeout(delay)
+                    log.append((sim.now, name, i))
+
+            sim.process(worker("x", 1.5))
+            sim.process(worker("y", 1.0))
+            sim.run()
+            return log
+
+        assert trace() == trace()

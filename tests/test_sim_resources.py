@@ -1,0 +1,119 @@
+"""Unit tests for Resource, Mutex and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Store
+
+from conftest import run_process
+
+
+class TestResource:
+    def test_capacity_grants_immediately(self, sim):
+        resource = Resource(sim, capacity=2)
+
+        def worker():
+            yield resource.acquire()
+            return sim.now
+
+        assert run_process(sim, worker()) == 0.0
+
+    def test_contention_serialises(self, sim):
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield resource.acquire()
+            try:
+                yield sim.timeout(hold)
+                log.append((sim.now, name))
+            finally:
+                resource.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert log == [(2.0, "a"), (3.0, "b")]
+
+    def test_fifo_fairness(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            yield resource.acquire()
+            try:
+                order.append(name)
+                yield sim.timeout(1.0)
+            finally:
+                resource.release()
+
+        for name in ("first", "second", "third"):
+            sim.process(worker(name))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_acquire_is_error(self, sim):
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queue_length_reporting(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.acquire()
+        resource.acquire()
+        resource.acquire()
+        assert resource.in_use == 1
+        assert resource.queue_length == 2
+
+    def test_bad_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+
+        def consumer():
+            value = yield store.get()
+            return value
+
+        assert run_process(sim, consumer()) == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        arrived = []
+
+        def consumer():
+            value = yield store.get()
+            arrived.append((sim.now, value))
+
+        def producer():
+            yield sim.timeout(5.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert arrived == [(5.0, "late")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                value = yield store.get()
+                received.append(value)
+
+        run_process(sim, consumer())
+        assert received == [1, 2, 3]
+
+    def test_len_and_peek(self, sim):
+        store = Store(sim)
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2
+        assert store.peek_all() == ["x", "y"]

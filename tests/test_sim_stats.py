@@ -1,0 +1,110 @@
+"""Unit tests for latency and throughput statistics."""
+
+import pytest
+
+from repro.sim import CounterSet, LatencyRecorder, ThroughputMeter
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_zero(self):
+        recorder = LatencyRecorder("empty")
+        summary = recorder.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p99"] == 0.0
+
+    def test_mean_and_max(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1.0, 2.0, 3.0])
+        assert recorder.mean == pytest.approx(2.0)
+        assert recorder.max == 3.0
+        assert recorder.min == 1.0
+
+    def test_nearest_rank_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 101))
+        assert recorder.percentile(0.25) == 25.0
+        assert recorder.percentile(0.50) == 50.0
+        assert recorder.percentile(0.99) == 99.0
+        assert recorder.percentile(1.00) == 100.0
+
+    def test_percentile_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(7.0)
+        assert recorder.percentile(0.01) == 7.0
+        assert recorder.percentile(0.99) == 7.0
+
+    def test_percentile_bounds_checked(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.percentile(0.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_merged_with(self):
+        a = LatencyRecorder("a")
+        b = LatencyRecorder("b")
+        a.extend([1.0, 2.0])
+        b.extend([3.0])
+        merged = a.merged_with(b)
+        assert merged.count == 3
+        assert merged.mean == pytest.approx(2.0)
+        assert a.count == 2  # originals untouched
+
+
+class TestThroughputMeter:
+    def test_counts_only_inside_window(self):
+        meter = ThroughputMeter()
+        meter.record(0.5)  # before window: ignored
+        meter.start_window(1.0)
+        meter.record(2.0)
+        meter.record(3.0)
+        assert meter.completed == 2
+        assert meter.per_second() == pytest.approx(1.0)
+
+    def test_per_minute(self):
+        meter = ThroughputMeter()
+        meter.start_window(0.0)
+        for t in (1.0, 2.0):
+            meter.record(t)
+        assert meter.per_minute() == pytest.approx(60.0)
+
+    def test_zero_window_is_zero_rate(self):
+        meter = ThroughputMeter()
+        assert meter.per_second() == 0.0
+
+    def test_batch_amounts(self):
+        meter = ThroughputMeter()
+        meter.start_window(0.0)
+        meter.record(10.0, amount=50)
+        assert meter.completed == 50
+        assert meter.per_second() == pytest.approx(5.0)
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("hits")
+        counters.add("hits", 4)
+        assert counters.get("hits") == 5
+        assert counters.get("misses") == 0
+
+    def test_ratio(self):
+        counters = CounterSet()
+        counters.add("misses", 2)
+        counters.add("accesses", 10)
+        assert counters.ratio("misses", "accesses") == pytest.approx(0.2)
+
+    def test_ratio_undefined_is_zero(self):
+        assert CounterSet().ratio("a", "b") == 0.0
+
+    def test_as_dict_is_a_copy(self):
+        counters = CounterSet()
+        counters.add("x")
+        snapshot = counters.as_dict()
+        snapshot["x"] = 99
+        assert counters.get("x") == 1

@@ -1,0 +1,75 @@
+"""Tests for the units helpers and a few cross-cutting conventions."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestUnits:
+    def test_lba_count_exact(self):
+        assert units.lba_count(4096) == 1
+        assert units.lba_count(8192) == 2
+
+    def test_lba_count_rounds_up(self):
+        assert units.lba_count(1) == 1
+        assert units.lba_count(4097) == 2
+        assert units.lba_count(0) == 0
+
+    def test_size_constants_consistent(self):
+        assert units.MIB == 1024 * units.KIB
+        assert units.GIB == 1024 * units.MIB
+        assert units.LBA_SIZE == 4 * units.KIB
+
+    def test_time_constants(self):
+        assert units.MSEC == 1000 * units.USEC
+        assert units.SEC == 1000 * units.MSEC
+        assert units.MINUTE == 60 * units.SEC
+
+    def test_to_mib(self):
+        assert units.to_mib(units.MIB) == pytest.approx(1.0)
+        assert units.to_mib(512 * units.KIB) == pytest.approx(0.5)
+
+
+class TestDevicePresetSanity:
+    """The calibrated presets keep the relationships the paper relies on."""
+
+    def test_durassd_maps_4k_others_8k(self):
+        from repro.devices import durassd_spec, ssd_a_spec, ssd_b_spec
+        assert durassd_spec().mapping_unit == 4 * units.KIB
+        assert ssd_a_spec().mapping_unit == 8 * units.KIB
+        assert ssd_b_spec().mapping_unit == 8 * units.KIB
+
+    def test_drain_rates_order_as_in_table1(self):
+        """no-fsync cache-on IOPS ordering: DuraSSD > SSD-A > SSD-B."""
+        from repro.devices import durassd_spec, ssd_a_spec, ssd_b_spec
+
+        def slots_per_second(spec):
+            pairing = 2 if spec.mapping_unit == 4 * units.KIB else 1
+            return pairing * spec.lanes / spec.program_time
+
+        assert (slots_per_second(durassd_spec())
+                > slots_per_second(ssd_a_spec())
+                > slots_per_second(ssd_b_spec()))
+
+    def test_write_buffer_is_megabytes_not_all_dram(self):
+        """Section 3.1.1: a few MB of buffer pool suffices; most DRAM
+        holds the mapping table."""
+        from repro.devices import durassd_spec
+        spec = durassd_spec()
+        assert spec.write_buffer_bytes < spec.cache_bytes / 8
+
+    def test_capacitor_budget_covers_write_buffer(self):
+        """Flow-control invariant: the dump budget exceeds the write
+        buffer plus the mapping-delta reserve."""
+        from repro.core import MAPPING_DUMP_RESERVE, CapacitorBank
+        from repro.devices import durassd_spec
+        bank = CapacitorBank()
+        spec = durassd_spec()
+        assert (bank.dump_budget_bytes
+                >= spec.write_buffer_bytes + MAPPING_DUMP_RESERVE)
+
+    def test_hdd_is_mechanically_slower(self):
+        from repro.devices import cheetah_15k6_spec, durassd_spec
+        hdd = cheetah_15k6_spec()
+        positioning = hdd.seek_time + hdd.rotational_latency
+        assert positioning > 5 * durassd_spec().program_time

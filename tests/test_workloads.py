@@ -1,0 +1,196 @@
+"""Tests for the workload generators: LinkBench, YCSB, TPC-C."""
+
+import pytest
+
+from repro.bench import setups
+from repro.db import InnoDBConfig, InnoDBEngine
+from repro.db.commercial import CommercialConfig, CommercialEngine
+from repro.db.couchstore import CouchstoreConfig, CouchstoreEngine
+from repro.devices import make_durassd
+from repro.host import FileSystem
+from repro.sim import Simulator, units
+from repro.sim.rng import make_rng
+from repro.workloads.linkbench import (
+    LinkBenchConfig,
+    LinkBenchWorkload,
+    NodeSampler,
+    OPERATION_MIX,
+)
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, TRANSACTION_MIX
+from repro.workloads.ycsb import CORE_WORKLOADS, YCSBConfig, YCSBWorkload
+
+
+def small_innodb(sim, **overrides):
+    data_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                         barriers=False)
+    log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=False)
+    params = dict(page_size=8 * units.KIB,
+                  buffer_pool_bytes=4 * units.MIB)
+    params.update(overrides)
+    return InnoDBEngine(sim, data_fs, log_fs, InnoDBConfig(**params))
+
+
+class TestOperationMixes:
+    def test_linkbench_mix_sums_to_100(self):
+        assert sum(w for _n, w, _k in OPERATION_MIX) == pytest.approx(100.0)
+
+    def test_linkbench_read_fraction_about_70(self):
+        reads = sum(w for _n, w, kind in OPERATION_MIX if kind == "read")
+        assert 65 < reads < 72  # the paper: "about 30% writes"
+
+    def test_tpcc_mix_sums_to_100(self):
+        assert sum(w for _n, w in TRANSACTION_MIX) == pytest.approx(100.0)
+
+    def test_ycsb_core_workloads_defined(self):
+        assert set("ABCDEF") == set(CORE_WORKLOADS)
+        assert CORE_WORKLOADS["A"] == {"read": 0.5, "update": 0.5}
+
+
+class TestNodeSampler:
+    def test_range(self):
+        config = LinkBenchConfig(db_bytes=64 * units.MIB)
+        sampler = NodeSampler(config, make_rng(1))
+        for _ in range(500):
+            assert 0 <= sampler.next() < config.n_nodes
+
+    def test_hot_cold_mixture_skews(self):
+        config = LinkBenchConfig(db_bytes=64 * units.MIB)
+        sampler = NodeSampler(config, make_rng(2))
+        samples = [sampler.next() for _ in range(4000)]
+        distinct = len(set(samples))
+        # strong reuse: far fewer distinct nodes than draws
+        assert distinct < len(samples) * 0.7
+
+    def test_write_sampler_flatter(self):
+        config = LinkBenchConfig(db_bytes=64 * units.MIB)
+        hot = NodeSampler(config, make_rng(3))
+        flat = NodeSampler(config, make_rng(3),
+                           hot_fraction=config.write_hot_fraction)
+        hot_distinct = len({hot.next() for _ in range(3000)})
+        flat_distinct = len({flat.next() for _ in range(3000)})
+        assert flat_distinct > hot_distinct
+
+
+class TestLinkBenchDriver:
+    def test_small_run_produces_results(self, sim):
+        engine = small_innodb(sim)
+        workload = LinkBenchWorkload(
+            engine, LinkBenchConfig(db_bytes=32 * units.MIB))
+        result = workload.run(clients=8, ops_per_client=20, warmup_ops=5)
+        assert result.tps > 0
+        assert result.reads.count + result.writes.count == 8 * 20
+        assert 0 <= result.buffer_miss_ratio <= 1
+
+    def test_latency_table_covers_all_ops(self, sim):
+        engine = small_innodb(sim)
+        workload = LinkBenchWorkload(
+            engine, LinkBenchConfig(db_bytes=32 * units.MIB))
+        result = workload.run(clients=16, ops_per_client=40, warmup_ops=2)
+        table = result.latency_table()
+        assert set(table) == {name for name, _w, _k in OPERATION_MIX}
+
+    def test_db_sized_to_target(self):
+        config = LinkBenchConfig(db_bytes=512 * units.MIB)
+        sim = Simulator()
+        engine = small_innodb(sim)
+        workload = LinkBenchWorkload(engine, config)
+        total_bytes = sum(
+            t.data_bytes for t in (workload.node_table,
+                                   workload.link_table,
+                                   workload.count_table))
+        # leaf data lands within ~2x of the requested size (fill factor)
+        assert 0.5 < total_bytes / config.db_bytes < 2.5
+
+    def test_deterministic_given_seed(self):
+        def one_run():
+            sim = Simulator()
+            engine = small_innodb(sim)
+            workload = LinkBenchWorkload(
+                engine, LinkBenchConfig(db_bytes=32 * units.MIB, seed=5))
+            return workload.run(clients=4, ops_per_client=25,
+                                warmup_ops=0).tps
+
+        assert one_run() == one_run()
+
+
+class TestYCSBDriver:
+    def test_workload_a_runs(self, sim):
+        fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=False)
+        engine = CouchstoreEngine(sim, fs, CouchstoreConfig(batch_size=1))
+        workload = YCSBWorkload(engine, YCSBConfig("A"))
+        result = workload.run(clients=1, ops_per_client=100, warmup_ops=10)
+        assert result.ops_per_second > 0
+        assert result.read_latency.count + result.update_latency.count > 0
+
+    def test_update_fraction_override(self, sim):
+        fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=False)
+        engine = CouchstoreEngine(sim, fs, CouchstoreConfig(batch_size=1))
+        workload = YCSBWorkload(engine,
+                                YCSBConfig("A", update_fraction=1.0))
+        workload.run(clients=1, ops_per_client=50, warmup_ops=0)
+        assert engine.counters["updates"] == 50
+        assert engine.counters["reads"] == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBConfig("Z")
+
+    def test_read_only_workload_never_commits(self, sim):
+        fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                        barriers=False)
+        engine = CouchstoreEngine(sim, fs, CouchstoreConfig())
+        workload = YCSBWorkload(engine, YCSBConfig("C"))
+        workload.run(clients=1, ops_per_client=40, warmup_ops=0)
+        assert engine.counters["commits"] == 0
+
+
+class TestTPCCDriver:
+    def _commercial(self, sim):
+        data_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                             barriers=False, coalesce_barriers=True)
+        log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
+                            barriers=False, coalesce_barriers=True)
+        return CommercialEngine(sim, data_fs, log_fs,
+                                CommercialConfig(
+                                    page_size=8 * units.KIB,
+                                    buffer_pool_bytes=4 * units.MIB))
+
+    def test_small_run_counts_tpmc(self, sim):
+        engine = self._commercial(sim)
+        workload = TPCCWorkload(engine, TPCCConfig(scale=2048,
+                                                   warehouses=50))
+        result = workload.run(clients=8, txns_per_client=25, warmup_txns=3)
+        assert result.tpmc > 0
+        assert result.tps > 0
+        assert result.new_orders.completed <= result.meter.completed
+
+    def test_scaling_keeps_warehouses(self):
+        config = TPCCConfig(scale=1024)
+        assert config.warehouses == 1000
+        assert config.stock_per_warehouse >= 40
+
+    def test_order_inserts_are_clustered(self, sim):
+        engine = self._commercial(sim)
+        workload = TPCCWorkload(engine, TPCCConfig(scale=2048,
+                                                   warehouses=10))
+        rng = make_rng(9)
+        ranks = [workload._order_insert_rank(
+            rng, workload.order_line, 3,
+            workload.config.order_lines_per_warehouse) for _ in range(40)]
+        leaves = {workload.order_line.leaf_of(rank) for rank in ranks}
+        # appends cycle inside a small hot window of leaves
+        assert len(leaves) <= 4
+
+    def test_customer_nurand_skew(self, sim):
+        engine = self._commercial(sim)
+        workload = TPCCWorkload(engine, TPCCConfig(scale=1024,
+                                                   warehouses=10))
+        rng = make_rng(11)
+        span = workload.config.customer_per_warehouse
+        hot_cut = span // 10
+        ranks = [workload._customer_rank(rng, 0) for _ in range(2000)]
+        hot_share = sum(1 for r in ranks if r < hot_cut) / len(ranks)
+        assert hot_share > 0.5  # 60% + uniform spillover
