@@ -1,24 +1,31 @@
 """Tracing the I/O stream: what fsync frequency does to a device.
 
-Attaches a blktrace-style tracer under the same LinkBench-ish workload
-in the default and the DuraSSD-best configuration, and prints what the
-device actually saw: command counts, flush-cache cadence, and read
-latency histograms (the paper's tail-latency story, visualised).
+Runs the same LinkBench-ish workload in the default and the
+DuraSSD-best configuration with the cross-layer telemetry hub enabled,
+and prints what the device actually saw: command counts, flush-cache
+cadence, and read latency histograms (the paper's tail-latency story,
+visualised).  A Chrome trace of each run is written next to the script
+— load it at https://ui.perfetto.dev to see every layer's spans.
+
+(This example used to use :class:`repro.host.IOTracer`; the telemetry
+spans on the "device" track carry the same information plus the causal
+parents — which transaction caused each flush-cache stall.)
 
 Run:  python examples/io_tracing.py
 """
 
 from repro.db import InnoDBConfig, InnoDBEngine
 from repro.devices import make_durassd
-from repro.host import FileSystem, IOTracer, render_latency_histogram
-from repro.sim import Simulator, units
+from repro.host import FileSystem, render_latency_histogram
+from repro.sim import LatencyRecorder, Simulator, units
+from repro.telemetry import Telemetry
 from repro.workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 
 
 def traced_run(barriers, doublewrite, page_size):
-    sim = Simulator()
+    telemetry = Telemetry(enabled=True)
+    sim = Simulator(telemetry)
     data_device = make_durassd(sim, capacity_bytes=units.GIB)
-    tracer = IOTracer.attach(sim, data_device)
     data_fs = FileSystem(sim, data_device, barriers=barriers)
     log_fs = FileSystem(sim, make_durassd(sim, capacity_bytes=units.GIB),
                         barriers=barriers)
@@ -29,35 +36,44 @@ def traced_run(barriers, doublewrite, page_size):
     workload = LinkBenchWorkload(
         engine, LinkBenchConfig(db_bytes=128 * units.MIB))
     result = workload.run(clients=32, ops_per_client=50, warmup_ops=10)
-    return tracer, result
+    return telemetry, result
 
 
-def describe(label, tracer, result):
-    summary = tracer.summary()
+def describe(label, telemetry, result):
+    reads = telemetry.spans("dev.read")
+    writes = telemetry.spans("dev.write")
+    flushes = telemetry.spans("dev.flush_cache")
     print("=== %s ===" % label)
-    print("  TPS %.0f | device saw %d reads, %d writes, %d flush-cache"
-          % (result.tps, summary["reads"], summary["writes"],
-             summary["flushes"]))
-    if summary["flushes"] > 1:
+    print("  TPS %.0f | devices saw %d reads, %d writes, %d flush-cache"
+          % (result.tps, len(reads), len(writes), len(flushes)))
+    if len(flushes) > 1:
+        starts = sorted(span["ts"] for span in flushes)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
         print("  mean gap between flush-cache commands: %.1fms"
-              % (summary["mean_flush_interval"] * 1e3))
-    print("  device read latency: mean %.2fms, p99 %.2fms"
-          % (summary["read_mean"] * 1e3, summary["read_p99"] * 1e3))
-    print("  bytes written to the device: %.1f MiB"
-          % (summary["bytes_written"] / units.MIB))
-    reads = tracer.latency_recorder("read")
-    if reads.count:
-        print(render_latency_histogram(reads, buckets=8, width=30))
+              % (sum(gaps) / len(gaps) * 1e3))
+    read_latency = LatencyRecorder("dev.read")
+    read_latency.extend(span["dur"] for span in reads)
+    if read_latency.count:
+        print("  device read latency: mean %.2fms, p99 %.2fms"
+              % (read_latency.mean * 1e3,
+                 read_latency.percentile(0.99) * 1e3))
+        print(render_latency_histogram(read_latency, buckets=8, width=30))
+    blocks = sum(span["attrs"].get("nblocks", 0) for span in writes)
+    print("  bytes written to the devices: %.1f MiB"
+          % (blocks * units.LBA_SIZE / units.MIB))
     print()
 
 
 def main():
-    tracer, result = traced_run(True, True, 16 * units.KIB)
+    telemetry, result = traced_run(True, True, 16 * units.KIB)
     describe("MySQL default: barriers ON, doublewrite ON, 16KB",
-             tracer, result)
-    tracer, result = traced_run(False, False, 4 * units.KIB)
+             telemetry, result)
+    telemetry.write_chrome_trace("io_tracing_default.json")
+    telemetry, result = traced_run(False, False, 4 * units.KIB)
     describe("DuraSSD best: barriers OFF, doublewrite OFF, 4KB",
-             tracer, result)
+             telemetry, result)
+    telemetry.write_chrome_trace("io_tracing_best.json")
+    print("chrome traces: io_tracing_default.json, io_tracing_best.json")
 
 
 if __name__ == "__main__":

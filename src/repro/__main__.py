@@ -6,6 +6,9 @@ Usage::
     python -m repro table1
     python -m repro all            # every table and figure, in order
     REPRO_QUICK=1 python -m repro figure5
+
+    python -m repro trace table1 --out trace.json   # telemetry trace
+    python -m repro table1 --telemetry              # trace the real run
 """
 
 import sys
@@ -21,6 +24,7 @@ from .bench import (
     table3,
     table4,
     table5,
+    tracing,
 )
 
 EXPERIMENTS = {
@@ -43,6 +47,9 @@ EXPERIMENTS = {
 ORDER = ["table1", "table2", "figure5", "figure6", "table3", "table4",
          "table5", "ablations", "atomicity", "bursts"]
 
+#: experiments whose main() accepts a telemetry hub (--telemetry flag)
+TELEMETRY_CAPABLE = frozenset(tracing.SCENARIOS)
+
 
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
@@ -50,9 +57,12 @@ def main(argv=None):
         print(__doc__)
         print("experiments:")
         for name in ORDER:
-            print("  %-10s %s" % (name, EXPERIMENTS[name][0]))
+            flag = " [--telemetry]" if name in TELEMETRY_CAPABLE else ""
+            print("  %-10s %s%s" % (name, EXPERIMENTS[name][0], flag))
         return 0
     target = argv[0]
+    if target == "trace":
+        return tracing.main(argv[1:])
     if target == "all":
         for name in ORDER:
             print("=" * 70)
@@ -64,6 +74,27 @@ def main(argv=None):
     if target not in EXPERIMENTS:
         print("unknown experiment: %r (try 'list')" % target)
         return 2
+    rest = argv[1:]
+    if "--telemetry" in rest:
+        rest = [arg for arg in rest if arg != "--telemetry"]
+        out = "%s-trace.json" % target
+        if "--out" in rest:
+            index = rest.index("--out")
+            out = rest[index + 1]
+            del rest[index:index + 2]
+        if target not in TELEMETRY_CAPABLE:
+            print("--telemetry is not supported for %r (supported: %s)"
+                  % (target, ", ".join(sorted(TELEMETRY_CAPABLE))))
+            return 2
+        from .telemetry import Telemetry
+        telemetry = Telemetry(enabled=True)
+        EXPERIMENTS[target][1](telemetry=telemetry)
+        telemetry.write_chrome_trace(out)
+        print("\nchrome trace of the representative %s run: %s "
+              "(%d events, tracks: %s)"
+              % (target, out, len(telemetry.events),
+                 ", ".join(telemetry.tracks())))
+        return 0
     EXPERIMENTS[target][1]()
     return 0
 

@@ -29,8 +29,8 @@ CONFIGURATIONS = [
 
 
 def run_one(device_maker, barriers, fsync_period, burst_writes=600,
-            reader_count=8):
-    sim = Simulator()
+            reader_count=8, telemetry=None):
+    sim = Simulator(telemetry)
     device = device_maker(sim, capacity_bytes=units.GIB)
     filesystem = FileSystem(sim, device, barriers=barriers)
     data = filesystem.create("data", 256 * units.MIB)
@@ -46,7 +46,8 @@ def run_one(device_maker, barriers, fsync_period, burst_writes=600,
         while burst_window["end"] is None:
             offset = rng.randrange(data.nblocks) * units.LBA_SIZE
             begin = sim.now
-            yield from filesystem.pread(data, offset, 1)
+            with sim.telemetry.span("burst.read", "workload", reader=index):
+                yield from filesystem.pread(data, offset, 1)
             latency = sim.now - begin
             if burst_window["start"] is None:
                 baseline_latency.record(latency)
@@ -59,9 +60,11 @@ def run_one(device_maker, barriers, fsync_period, burst_writes=600,
         burst_window["start"] = sim.now
         for index in range(burst_writes):
             offset = rng.randrange(data.nblocks) * units.LBA_SIZE
-            yield from filesystem.pwrite(data, offset, [("burst", index)])
-            if fsync_period and (index + 1) % fsync_period == 0:
-                yield from filesystem.fsync(data)
+            with sim.telemetry.span("burst.write", "workload", i=index):
+                yield from filesystem.pwrite(data, offset,
+                                             [("burst", index)])
+                if fsync_period and (index + 1) % fsync_period == 0:
+                    yield from filesystem.fsync(data)
         burst_window["end"] = sim.now
 
     for index in range(reader_count):
@@ -78,11 +81,15 @@ def run_one(device_maker, barriers, fsync_period, burst_writes=600,
     }
 
 
-def run(burst_writes=None):
+def run(burst_writes=None, telemetry=None):
     if burst_writes is None:
         burst_writes = setups.ops_scale(600)
+    # --telemetry traces the DuraSSD configuration (the last one).
+    traced = CONFIGURATIONS[-1][0]
     return [(label, run_one(maker, barriers, period,
-                            burst_writes=burst_writes))
+                            burst_writes=burst_writes,
+                            telemetry=telemetry if label == traced
+                            else None))
             for label, maker, barriers, period in CONFIGURATIONS]
 
 
@@ -106,8 +113,8 @@ def format_table(results):
     return table + note
 
 
-def main():
-    print(format_table(run()))
+def main(telemetry=None):
+    print(format_table(run(telemetry=telemetry)))
 
 
 if __name__ == "__main__":

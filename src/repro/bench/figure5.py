@@ -27,8 +27,8 @@ PAPER_APPROX = {
 
 
 def run_config(barrier, doublewrite, page_size, clients=128,
-               ops_per_client=None, buffer_gb=10):
-    sim = Simulator()
+               ops_per_client=None, buffer_gb=10, telemetry=None):
+    sim = Simulator(telemetry)
     engine, _devices = setups.mysql_setup(sim, page_size, barrier,
                                           doublewrite, buffer_gb=buffer_gb)
     workload = LinkBenchWorkload(
@@ -41,12 +41,23 @@ def run_config(barrier, doublewrite, page_size, clients=128,
                         warmup_ops=40)
 
 
-def run():
-    """{(barrier, dwb): [LinkBenchResult per page size]}"""
+#: configuration traced under ``--telemetry``: MySQL defaults, 16KB
+TRACED_CONFIG = (True, True, 16 * units.KIB)
+
+
+def run(telemetry=None):
+    """{(barrier, dwb): [LinkBenchResult per page size]}
+
+    ``telemetry`` is threaded into the :data:`TRACED_CONFIG` run only
+    (one hub binds one simulator); tracing does not perturb the TPS.
+    """
     results = {}
     for barrier, doublewrite in CONFIGS:
         results[(barrier, doublewrite)] = [
-            run_config(barrier, doublewrite, page_size)
+            run_config(barrier, doublewrite, page_size,
+                       telemetry=telemetry
+                       if (barrier, doublewrite, page_size) == TRACED_CONFIG
+                       else None)
             for page_size in PAGE_SIZES]
     return results
 
@@ -75,8 +86,8 @@ def format_table(results):
                     % (best / worst)) + chart
 
 
-def main():
-    print(format_table(run()))
+def main(telemetry=None):
+    print(format_table(run(telemetry)))
 
 
 if __name__ == "__main__":

@@ -50,8 +50,8 @@ def scaled(buffer_gb):
     return int(buffer_gb * units.GIB) // scale_factor()
 
 
-def fresh_world():
-    return Simulator()
+def fresh_world(telemetry=None):
+    return Simulator(telemetry)
 
 
 def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None):

@@ -35,9 +35,9 @@ ROWS = [
 ]
 
 
-def measure_cell(device_kind, mode, fsync_period, ios=None):
+def measure_cell(device_kind, mode, fsync_period, ios=None, telemetry=None):
     """One fio run; returns IOPS."""
-    sim = Simulator()
+    sim = Simulator(telemetry)
     cache_enabled = mode != "off"
     device = setups.make_device(sim, device_kind,
                                 cache_enabled=cache_enabled)
@@ -61,12 +61,24 @@ def _ios_for(device_kind, mode, fsync_period):
     return setups.ops_scale(base)
 
 
-def run():
-    """Measure the full table; returns {(device, mode): [iops...]}."""
+#: cell traced when the bench runs with ``--telemetry`` (one world per
+#: hub; this is the configuration the paper's analysis centres on)
+TRACED_CELL = ("durassd", "on", 8)
+
+
+def run(telemetry=None):
+    """Measure the full table; returns {(device, mode): [iops...]}.
+
+    ``telemetry`` (optional, one enabled hub) is threaded into the
+    :data:`TRACED_CELL` run; tracing adds no simulation events, so the
+    traced cell's IOPS are unchanged.
+    """
     results = {}
     for device_kind, mode in ROWS:
         results[(device_kind, mode)] = [
-            measure_cell(device_kind, mode, period)
+            measure_cell(device_kind, mode, period,
+                         telemetry=telemetry if (device_kind, mode, period)
+                         == TRACED_CELL else None)
             for period in FSYNC_PERIODS]
     return results
 
@@ -82,8 +94,8 @@ def format_table(results):
         "Table 1: 4KB random-write IOPS vs writes-per-fsync", headers, rows)
 
 
-def main():
-    print(format_table(run()))
+def main(telemetry=None):
+    print(format_table(run(telemetry)))
 
 
 if __name__ == "__main__":

@@ -49,6 +49,11 @@ class DuraSSD(FlashSSD):
         # Data of commands still streaming from the host: visible to the
         # dump logic only as "incomplete, must be discarded" (Section 3.2).
         self._staging = {}
+        sim.telemetry.add_probe(
+            "device.capacitor_headroom",
+            lambda: (self.capacitors.dump_budget_bytes - MAPPING_DUMP_RESERVE
+                     - len(self.cache) * units.LBA_SIZE),
+            "device")
 
     # --- atomic writer hooks ---------------------------------------------
     def _on_command_start(self, request):
@@ -76,6 +81,10 @@ class DuraSSD(FlashSSD):
         # honest reproduction rather than a no-op.
         image = self.recovery_manager.dump(
             self.cache.snapshot(), self.ftl.export_mapping_delta())
+        self.sim.telemetry.instant(
+            "durassd.dump", "device", device=self.name,
+            cached_pages=len(image.buffer_snapshot),
+            mapping_entries=len(image.mapping_delta))
         self.cache.clear()
         self.ftl.revert_unpersisted_mapping()
         return image
@@ -87,6 +96,9 @@ class DuraSSD(FlashSSD):
             self._power_on_event.succeed()
             self._power_on_event = None
         recovery_time = self.recovery_manager.replay(self)
+        self.sim.telemetry.instant("durassd.replay", "device",
+                                   device=self.name,
+                                   recovery_seconds=recovery_time)
         if len(self.cache):
             self._wake_flusher()
         return recovery_time

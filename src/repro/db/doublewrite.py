@@ -33,6 +33,8 @@ class DoubleWriteBuffer:
         # What the area currently holds: slot -> (space, page, version).
         self._area = {}
         self.counters = {"batches": 0, "pages_written": 0, "fsyncs": 2 * 0}
+        sim.telemetry.add_probe("dwb.pages_written",
+                                lambda: self.counters["pages_written"], "db")
 
     def flush_pages(self, entries, touched_handles):
         """Durably write ``[(space_id, page_no, version), ...]``.
@@ -49,26 +51,27 @@ class DoubleWriteBuffer:
                 yield from self.flush_pages(entries[start:start + self.AREA_PAGES],
                                             touched_handles)
             return
-        yield self._mutex.acquire()
-        try:
-            # Step 1: sequential write into the double-write area.
-            for slot, (space_id, page_no, version) in enumerate(entries):
-                offset = slot * self.pagestore.page_size
-                yield from self.pagestore.write_page_image(
-                    self.handle, offset, space_id, page_no, version)
-                self._area[slot] = (space_id, page_no, version)
-            yield from self.filesystem.fsync(self.handle)
-            # Step 2: in-place writes, then make them durable.
-            writers = [self.sim.process(
-                self.pagestore.write_page(space_id, page_no, version))
-                for space_id, page_no, version in entries]
-            yield self.sim.all_of(writers)
-            for handle in touched_handles:
-                yield from self.filesystem.fsync(handle)
-            self.counters["batches"] += 1
-            self.counters["pages_written"] += len(entries)
-        finally:
-            self._mutex.release()
+        with self.sim.telemetry.span("dwb.flush", "db", n=len(entries)):
+            yield self._mutex.acquire()
+            try:
+                # Step 1: sequential write into the double-write area.
+                for slot, (space_id, page_no, version) in enumerate(entries):
+                    offset = slot * self.pagestore.page_size
+                    yield from self.pagestore.write_page_image(
+                        self.handle, offset, space_id, page_no, version)
+                    self._area[slot] = (space_id, page_no, version)
+                yield from self.filesystem.fsync(self.handle)
+                # Step 2: in-place writes, then make them durable.
+                writers = [self.sim.process(
+                    self.pagestore.write_page(space_id, page_no, version))
+                    for space_id, page_no, version in entries]
+                yield self.sim.all_of(writers)
+                for handle in touched_handles:
+                    yield from self.filesystem.fsync(handle)
+                self.counters["batches"] += 1
+                self.counters["pages_written"] += len(entries)
+            finally:
+                self._mutex.release()
 
     # --- crash recovery side ---------------------------------------------------
     def persistent_area_pages(self):

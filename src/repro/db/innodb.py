@@ -103,6 +103,10 @@ class InnoDBEngine:
         self.counters = {"single_page_flushes": 0, "cleaner_batches": 0,
                          "pages_flushed": 0, "commits": 0, "aborts": 0}
         self._cleaner_stop = False
+        sim.telemetry.add_probe("bp.dirty_pages",
+                                lambda: self.pool.dirty_count, "db")
+        sim.telemetry.add_probe("bp.free_frames",
+                                lambda: self.pool.free_frames, "db")
         sim.process(self._cleaner())
 
     # --- schema ------------------------------------------------------------
@@ -169,28 +173,32 @@ class InnoDBEngine:
     def modify_rank(self, txn, table, rank):
         """Update the row at ``rank``: read the path, lock and dirty the
         leaf, append redo."""
-        path = table.path_for(rank)
-        for page_no in path[:-1]:
-            yield from self.fetch_page(table.space_id, page_no)
-        leaf_no = path[-1]
-        yield from self._lock_page(txn, (table.space_id, leaf_no))
-        frame = yield from self.fetch_page(table.space_id, leaf_no)
-        version = self.pool.mark_dirty(frame)
-        lsn = self.wal.append(txn.txn_id, table.space_id, leaf_no, version)
-        self._newest_lsn[(table.space_id, leaf_no)] = lsn
-        txn.last_lsn = lsn
-        txn.pages[(table.space_id, leaf_no)] = version
+        with self.sim.telemetry.span("txn.modify", "db", txn=txn.txn_id,
+                                     table=table.name, rank=rank):
+            path = table.path_for(rank)
+            for page_no in path[:-1]:
+                yield from self.fetch_page(table.space_id, page_no)
+            leaf_no = path[-1]
+            yield from self._lock_page(txn, (table.space_id, leaf_no))
+            frame = yield from self.fetch_page(table.space_id, leaf_no)
+            version = self.pool.mark_dirty(frame)
+            lsn = self.wal.append(txn.txn_id, table.space_id, leaf_no,
+                                  version)
+            self._newest_lsn[(table.space_id, leaf_no)] = lsn
+            txn.last_lsn = lsn
+            txn.pages[(table.space_id, leaf_no)] = version
         return version
 
     def commit(self, txn):
         """Group-commit the transaction's redo to the log device."""
-        try:
-            lsn = self.wal.append(txn.txn_id, COMMIT_MARKER, None, None,
-                                  nbytes=64)
-            txn.last_lsn = lsn
-            yield from self.wal.flush_to(lsn)
-        finally:
-            self._release_locks(txn)
+        with self.sim.telemetry.span("txn.commit", "db", txn=txn.txn_id):
+            try:
+                lsn = self.wal.append(txn.txn_id, COMMIT_MARKER, None, None,
+                                      nbytes=64)
+                txn.last_lsn = lsn
+                yield from self.wal.flush_to(lsn)
+            finally:
+                self._release_locks(txn)
         txn.committed = True
         for key, version in txn.pages.items():
             current = self.committed_versions.get(key, 0)
@@ -212,22 +220,25 @@ class InnoDBEngine:
         yield from self._flush_entries(entries)
 
     def _flush_entries(self, entries):
-        # WAL rule: redo for these page versions must be durable first.
-        newest = max((self._newest_lsn.get((space, page), 0)
-                      for space, page, _version in entries), default=0)
-        if newest:
-            yield from self.wal.flush_to(newest)
-        touched = {self.pagestore.space(space).handle
-                   for space, _page, _version in entries}
-        if self.doublewrite is not None:
-            yield from self.doublewrite.flush_pages(entries, touched)
-        else:
-            writers = [self.sim.process(
-                self.pagestore.write_page(space, page, version))
-                for space, page, version in entries]
-            yield self.sim.all_of(writers)
-            for handle in touched:
-                yield from self.data_fs.fsync(handle)
+        with self.sim.telemetry.span("bp.flush_batch", "db",
+                                     n=len(entries),
+                                     doublewrite=self.doublewrite is not None):
+            # WAL rule: redo for these page versions must be durable first.
+            newest = max((self._newest_lsn.get((space, page), 0)
+                          for space, page, _version in entries), default=0)
+            if newest:
+                yield from self.wal.flush_to(newest)
+            touched = {self.pagestore.space(space).handle
+                       for space, _page, _version in entries}
+            if self.doublewrite is not None:
+                yield from self.doublewrite.flush_pages(entries, touched)
+            else:
+                writers = [self.sim.process(
+                    self.pagestore.write_page(space, page, version))
+                    for space, page, version in entries]
+                yield self.sim.all_of(writers)
+                for handle in touched:
+                    yield from self.data_fs.fsync(handle)
         self.counters["pages_flushed"] += len(entries)
         for space, page, version in entries:
             frame = self.pool.get_resident((space, page))
@@ -269,13 +280,14 @@ class InnoDBEngine:
         """Redo space is running out: flush every dirty page so the log
         tail becomes reusable (the stall real engines hit when the redo
         log is undersized)."""
-        while True:
-            victims = self.pool.oldest_dirty(self.config.cleaner_batch)
-            if not victims:
-                break
-            entries = [(frame.key[0], frame.key[1], frame.version)
-                       for frame in victims]
-            yield from self._flush_entries(entries)
+        with self.sim.telemetry.span("bp.checkpoint", "db"):
+            while True:
+                victims = self.pool.oldest_dirty(self.config.cleaner_batch)
+                if not victims:
+                    break
+                entries = [(frame.key[0], frame.key[1], frame.version)
+                           for frame in victims]
+                yield from self._flush_entries(entries)
         self.wal.advance_checkpoint()
         self.counters["forced_checkpoints"] = \
             self.counters.get("forced_checkpoints", 0) + 1

@@ -53,6 +53,10 @@ class WriteAheadLog:
         self._records_for_recovery = []  # what is durably on the log device
         self.counters = {"appends": 0, "flushes": 0, "group_commits": 0,
                          "blocks_written": 0}
+        sim.telemetry.add_probe("wal.buffered_bytes",
+                                lambda: self._buffered_bytes, "db")
+        sim.telemetry.add_probe("wal.checkpoint_pressure",
+                                self.checkpoint_pressure, "db")
 
     @property
     def current_lsn(self):
@@ -89,15 +93,17 @@ class WriteAheadLog:
         Returns once ``flushed_lsn >= lsn``.  Under concurrency, one
         flusher writes for everyone queued behind it.
         """
-        while self.flushed_lsn < lsn:
-            yield self._flush_mutex.acquire()
-            try:
-                if self.flushed_lsn >= lsn:
-                    self.counters["group_commits"] += 1
-                    return
-                yield from self._write_out()
-            finally:
-                self._flush_mutex.release()
+        with self.sim.telemetry.span("wal.flush_to", "db", lsn=lsn) as span:
+            while self.flushed_lsn < lsn:
+                yield self._flush_mutex.acquire()
+                try:
+                    if self.flushed_lsn >= lsn:
+                        self.counters["group_commits"] += 1
+                        span.annotate(group_commit=True)
+                        return
+                    yield from self._write_out()
+                finally:
+                    self._flush_mutex.release()
 
     def _write_out(self):
         records, self._buffer = self._buffer, []
@@ -109,11 +115,13 @@ class WriteAheadLog:
                 > self.capacity_bytes:
             self._write_cursor_blocks = 0  # circular log wrap
         top_lsn = records[-1].lsn
-        tokens = [("log", top_lsn, index) for index in range(nblocks)]
-        offset = self._write_cursor_blocks * units.LBA_SIZE
-        yield from self.filesystem.pwrite(self.handle, offset, tokens)
-        self._write_cursor_blocks += nblocks
-        yield from self.filesystem.fdatasync(self.handle)
+        with self.sim.telemetry.span("wal.write_out", "db", lsn=top_lsn,
+                                     records=len(records), nblocks=nblocks):
+            tokens = [("log", top_lsn, index) for index in range(nblocks)]
+            offset = self._write_cursor_blocks * units.LBA_SIZE
+            yield from self.filesystem.pwrite(self.handle, offset, tokens)
+            self._write_cursor_blocks += nblocks
+            yield from self.filesystem.fdatasync(self.handle)
         self.flushed_lsn = top_lsn
         if self.filesystem.barriers:
             self.barrier_durable_lsn = top_lsn

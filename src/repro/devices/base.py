@@ -113,41 +113,46 @@ class StorageDevice:
     def _service(self, request):
         if not self.powered:
             raise PowerFailedError(self.name)
-        while self._flush_barrier is not None:
-            yield self._flush_barrier
-            if not self.powered:
-                raise PowerFailedError(self.name)
-        request.submit_time = self.sim.now
-        self._on_command_start(request)
-        yield from self._transfer(request.nbytes)
-        if request.op == WRITE:
-            yield from self._write(request)
-            self.counters["writes"] += 1
-            self.counters["blocks_written"] += request.nblocks
-            self._ack_write(request)
-        else:
-            request.result = yield from self._read(request)
-            self.counters["reads"] += 1
-            self.counters["blocks_read"] += request.nblocks
-        request.complete_time = self.sim.now
-        self._on_command_end(request)
+        with self.sim.telemetry.span("dev." + request.op, "device",
+                                     device=self.name, lba=request.lba,
+                                     nblocks=request.nblocks):
+            while self._flush_barrier is not None:
+                yield self._flush_barrier
+                if not self.powered:
+                    raise PowerFailedError(self.name)
+            request.submit_time = self.sim.now
+            self._on_command_start(request)
+            yield from self._transfer(request.nbytes)
+            if request.op == WRITE:
+                yield from self._write(request)
+                self.counters["writes"] += 1
+                self.counters["blocks_written"] += request.nblocks
+                self._ack_write(request)
+            else:
+                request.result = yield from self._read(request)
+                self.counters["reads"] += 1
+                self.counters["blocks_read"] += request.nblocks
+            request.complete_time = self.sim.now
+            self._on_command_end(request)
         return request
 
     def _flush(self):
         if not self.powered:
             raise PowerFailedError(self.name)
-        while self._flush_barrier is not None:
-            yield self._flush_barrier
-            if not self.powered:
-                raise PowerFailedError(self.name)
-        barrier = self.sim.event()
-        self._flush_barrier = barrier
-        try:
-            self.counters["flushes"] += 1
-            yield from self._do_flush()
-        finally:
-            self._flush_barrier = None
-            barrier.succeed()
+        with self.sim.telemetry.span("dev.flush_cache", "device",
+                                     device=self.name):
+            while self._flush_barrier is not None:
+                yield self._flush_barrier
+                if not self.powered:
+                    raise PowerFailedError(self.name)
+            barrier = self.sim.event()
+            self._flush_barrier = barrier
+            try:
+                self.counters["flushes"] += 1
+                yield from self._do_flush()
+            finally:
+                self._flush_barrier = None
+                barrier.succeed()
 
     #: Bus occupancy per command beyond the data transfer itself; the
     #: rest of ``command_overhead`` is controller latency that overlaps

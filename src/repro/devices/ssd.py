@@ -105,6 +105,18 @@ class FlashSSD(StorageDevice):
 
         cache_slots = max(1, spec.write_buffer_bytes // units.LBA_SIZE)
         self.cache = WriteCache(cache_slots)
+        self.cache.bind_telemetry(sim.telemetry)
+        telemetry = sim.telemetry
+        telemetry.add_probe("device.cache_occupancy",
+                            lambda: len(self.cache), "device")
+        telemetry.add_probe("device.cache_dedup_hits",
+                            lambda: self.cache.dedup_hits, "device")
+        telemetry.add_probe("ftl.dirty_mapping",
+                            lambda: self.ftl.dirty_mapping_entries, "flash")
+        telemetry.add_probe("ftl.free_blocks",
+                            lambda: self.ftl.free_blocks, "flash")
+        telemetry.add_probe("ftl.gc_runs",
+                            lambda: self.ftl.counters["gc_runs"], "flash")
         self._space_waiters = []
         self._drain_waiters = []  # (snapshot_sequence, event)
         self._inflight_sequences = set()
@@ -137,12 +149,15 @@ class FlashSSD(StorageDevice):
 
     def _write_cached(self, request):
         # Flow control: block while the cache is full (Section 3.1.1).
-        while self.cache.is_full:
-            waiter = self.sim.event()
-            self._space_waiters.append(waiter)
-            yield waiter
-            if not self.powered:
-                raise PowerFailedError(self.name)
+        if self.cache.is_full:
+            with self.sim.telemetry.span("cache.stall", "device",
+                                         device=self.name):
+                while self.cache.is_full:
+                    waiter = self.sim.event()
+                    self._space_waiters.append(waiter)
+                    yield waiter
+                    if not self.powered:
+                        raise PowerFailedError(self.name)
         for index, lba in enumerate(request.blocks):
             self.cache.put(lba, request.payload[index])
         self._wake_flusher()
@@ -230,7 +245,10 @@ class FlashSSD(StorageDevice):
             sequences = {sequence for _lba, sequence, _value in batch}
             self._inflight_sequences |= sequences
             try:
-                yield from self._flush_batch(batch)
+                with self.sim.telemetry.span("flusher.batch", "device",
+                                             device=self.name,
+                                             n=len(batch)):
+                    yield from self._flush_batch(batch)
             finally:
                 self._inflight_sequences -= sequences
             if self.powered:
@@ -292,10 +310,13 @@ class FlashSSD(StorageDevice):
             return
         snapshot = self.cache.last_sequence
         if not self._drained_through(snapshot):
-            waiter = self.sim.event()
-            self._drain_waiters.append((snapshot, waiter))
-            self._wake_flusher()
-            yield waiter
+            with self.sim.telemetry.span("flush.drain", "device",
+                                         device=self.name,
+                                         pending=len(self.cache)):
+                waiter = self.sim.event()
+                self._drain_waiters.append((snapshot, waiter))
+                self._wake_flusher()
+                yield waiter
         yield self.sim.timeout(self.spec.flush_fixed + self.spec.map_persist_flush)
         self.ftl.mark_mapping_persisted()
 

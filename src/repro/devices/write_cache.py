@@ -32,6 +32,11 @@ class WriteCache:
         self._order = deque()  # (lba, sequence); stale pairs skipped lazily
         self._next_sequence = 0
         self.dedup_hits = 0
+        self._telemetry = None
+
+    def bind_telemetry(self, telemetry):
+        """Report cache admissions into the owning device's hub."""
+        self._telemetry = telemetry if telemetry.enabled else None
 
     def __len__(self):
         return len(self._entries)
@@ -56,10 +61,15 @@ class WriteCache:
         """Buffer a write; returns its sequence number."""
         sequence = self._next_sequence
         self._next_sequence += 1
-        if lba in self._entries:
+        deduped = lba in self._entries
+        if deduped:
             self.dedup_hits += 1
         self._entries[lba] = CacheEntry(value, sequence)
         self._order.append((lba, sequence))
+        if self._telemetry is not None:
+            self._telemetry.instant("cache.admit", "device", lba=lba,
+                                    occupancy=len(self._entries),
+                                    dedup=deduped)
         return sequence
 
     def take_batch(self, max_slots):

@@ -129,7 +129,9 @@ class PageMappingFTL:
         if pslot is None:
             return None
         ppn = pslot // self.slots_per_page
-        yield from self.array.read(ppn, self.mapping_unit)
+        with self.sim.telemetry.span("flash.read", "flash", lslot=lslot,
+                                     ppn=ppn):
+            yield from self.array.read(ppn, self.mapping_unit)
         return self.stored_value(lslot)
 
     def write_slots(self, items):
@@ -144,12 +146,14 @@ class PageMappingFTL:
         for lslot, _value in items:
             if not 0 <= lslot < self.exported_slots:
                 raise ValueError("logical slot %d out of range" % lslot)
-        yield from self._maybe_collect()
-        groups = [items[i:i + self.slots_per_page]
-                  for i in range(0, len(items), self.slots_per_page)]
-        programs = [self.sim.process(self._program_group(group))
-                    for group in groups]
-        yield self.sim.all_of(programs)
+        with self.sim.telemetry.span("ftl.write_slots", "flash",
+                                     slots=len(items)):
+            yield from self._maybe_collect()
+            groups = [items[i:i + self.slots_per_page]
+                      for i in range(0, len(items), self.slots_per_page)]
+            programs = [self.sim.process(self._program_group(group))
+                        for group in groups]
+            yield self.sim.all_of(programs)
         self.counters["host_slot_writes"] += len(items)
 
     def _program_group(self, group):
@@ -159,7 +163,9 @@ class PageMappingFTL:
         # Count the incoming slots valid up front so GC never picks the
         # page mid-program; the commit refines bookkeeping afterwards.
         self._valid_count[block] += len(group)
-        yield from self.array.program(ppn)
+        with self.sim.telemetry.span("flash.program", "flash", ppn=ppn,
+                                     slots=len(group)):
+            yield from self.array.program(ppn)
         if epoch != self._epoch:
             # A power cut landed while this page was programming: the
             # data is shorn and nothing was committed.  Valid counts were
@@ -286,18 +292,20 @@ class PageMappingFTL:
             entry = self._contents.get(pslot)
             if entry is not None and self._mapping.get(entry[0]) == pslot:
                 live_items.append(entry)
-        if live_items:
-            groups = [live_items[i:i + spp]
-                      for i in range(0, len(live_items), spp)]
-            programs = [self.sim.process(self._program_group(group))
-                        for group in groups]
-            yield self.sim.all_of(programs)
-            self.counters["gc_moved_slots"] += len(live_items)
-        if epoch != self._epoch:
-            # Power cut during relocation: the victim must not be erased,
-            # its data may still be the only reachable copy.
-            return None
-        yield from self.array.erase(victim)
+        with self.sim.telemetry.span("ftl.gc", "flash", victim=victim,
+                                     moved=len(live_items)):
+            if live_items:
+                groups = [live_items[i:i + spp]
+                          for i in range(0, len(live_items), spp)]
+                programs = [self.sim.process(self._program_group(group))
+                            for group in groups]
+                yield self.sim.all_of(programs)
+                self.counters["gc_moved_slots"] += len(live_items)
+            if epoch != self._epoch:
+                # Power cut during relocation: the victim must not be
+                # erased, its data may still be the only reachable copy.
+                return None
+            yield from self.array.erase(victim)
         for pslot in range(start, end):
             self._contents.pop(pslot, None)
         self._erase_count[victim] += 1

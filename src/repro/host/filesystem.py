@@ -112,15 +112,17 @@ class FileSystem:
         nblocks = len(values)
         if lba + nblocks > handle.base_lba + handle.nblocks:
             raise ValueError("write past end of %r" % handle.name)
-        request = IORequest(WRITE, lba, nblocks, payload=list(values))
-        completed = yield self.queue.submit(request)
-        self.counters["data_writes"] += 1
-        end_block = offset_bytes // units.LBA_SIZE + nblocks
-        if end_block > handle.size_blocks:
-            handle.size_blocks = end_block
-            handle.metadata_dirty = True  # i_size grew: journal on fsync
-        if handle.o_dsync:
-            yield from self._barrier_if_enabled()
+        with self.sim.telemetry.span("fs.pwrite", "host", file=handle.name,
+                                     lba=lba, nblocks=nblocks):
+            request = IORequest(WRITE, lba, nblocks, payload=list(values))
+            completed = yield self.queue.submit(request)
+            self.counters["data_writes"] += 1
+            end_block = offset_bytes // units.LBA_SIZE + nblocks
+            if end_block > handle.size_blocks:
+                handle.size_blocks = end_block
+                handle.metadata_dirty = True  # i_size grew: journal on fsync
+            if handle.o_dsync:
+                yield from self._barrier_if_enabled()
         return completed
 
     def pread(self, handle, offset_bytes, nblocks):
@@ -128,9 +130,11 @@ class FileSystem:
         lba = handle.lba_of(offset_bytes)
         if lba + nblocks > handle.base_lba + handle.nblocks:
             raise ValueError("read past end of %r" % handle.name)
-        request = IORequest(READ, lba, nblocks)
-        completed = yield self.queue.submit(request)
-        self.counters["data_reads"] += 1
+        with self.sim.telemetry.span("fs.pread", "host", file=handle.name,
+                                     lba=lba, nblocks=nblocks):
+            request = IORequest(READ, lba, nblocks)
+            completed = yield self.queue.submit(request)
+            self.counters["data_reads"] += 1
         return completed.result
 
     def append(self, handle, values):
@@ -146,27 +150,33 @@ class FileSystem:
         1. If metadata is dirty, commit a journal record (a device write).
         2. If barriers are on, issue flush-cache (Figure 2's stall).
         """
-        yield self.sim.timeout(FSYNC_SYSCALL_TIME)
-        self.counters["fsyncs"] += 1
-        if handle.metadata_dirty:
-            yield from self._journal_commit(handle)
-            handle.metadata_dirty = False
-        yield from self._barrier_if_enabled()
+        with self.sim.telemetry.span("fs.fsync", "host", file=handle.name):
+            yield self.sim.timeout(FSYNC_SYSCALL_TIME)
+            self.counters["fsyncs"] += 1
+            if handle.metadata_dirty:
+                yield from self._journal_commit(handle)
+                handle.metadata_dirty = False
+            yield from self._barrier_if_enabled()
 
     def fdatasync(self, handle):
         """Like fsync but skips the metadata journal commit."""
-        yield self.sim.timeout(FSYNC_SYSCALL_TIME)
-        self.counters["fsyncs"] += 1
-        yield from self._barrier_if_enabled()
+        with self.sim.telemetry.span("fs.fdatasync", "host",
+                                     file=handle.name):
+            yield self.sim.timeout(FSYNC_SYSCALL_TIME)
+            self.counters["fsyncs"] += 1
+            yield from self._barrier_if_enabled()
 
     def _journal_commit(self, handle):
-        lba = self._journal_base + self._journal_cursor
-        self._journal_cursor = (self._journal_cursor + 1) % self.JOURNAL_BLOCKS
-        self._journal_sequence += 1
-        token = ("journal", handle.name, self._journal_sequence)
-        request = IORequest(WRITE, lba, 1, payload=[token])
-        yield self.queue.submit(request)
-        self.counters["journal_commits"] += 1
+        with self.sim.telemetry.span("fs.journal_commit", "host",
+                                     file=handle.name):
+            lba = self._journal_base + self._journal_cursor
+            self._journal_cursor = (self._journal_cursor + 1) \
+                % self.JOURNAL_BLOCKS
+            self._journal_sequence += 1
+            token = ("journal", handle.name, self._journal_sequence)
+            request = IORequest(WRITE, lba, 1, payload=[token])
+            yield self.queue.submit(request)
+            self.counters["journal_commits"] += 1
 
     def _barrier_if_enabled(self):
         """Issue (or join) a flush-cache barrier.
@@ -177,18 +187,20 @@ class FileSystem:
         """
         if not self.barriers:
             return
-        if not self.coalesce_barriers:
-            self.counters["barriers_issued"] += 1
-            yield self.queue.flush()
-            return
-        self._barrier_requested += 1
-        my_round = self._barrier_requested
-        waiter = self.sim.event()
-        self._barrier_waiters.append((my_round, waiter))
-        if not self._barrier_flusher_running:
-            self._barrier_flusher_running = True
-            self.sim.process(self._barrier_flusher())
-        yield waiter
+        with self.sim.telemetry.span("fs.barrier", "host",
+                                     coalesced=self.coalesce_barriers):
+            if not self.coalesce_barriers:
+                self.counters["barriers_issued"] += 1
+                yield self.queue.flush()
+                return
+            self._barrier_requested += 1
+            my_round = self._barrier_requested
+            waiter = self.sim.event()
+            self._barrier_waiters.append((my_round, waiter))
+            if not self._barrier_flusher_running:
+                self._barrier_flusher_running = True
+                self.sim.process(self._barrier_flusher())
+            yield waiter
 
     def _barrier_flusher(self):
         try:

@@ -79,13 +79,16 @@ def run_fio(sim, filesystem, job):
             offset = rng.randrange(aligned_slots) * job.block_size
             begin = sim.now
             if job.rw == "randwrite":
-                values = [("fio", index, i, b)
-                          for b in range(job.blocks_per_io)]
-                yield from filesystem.pwrite(handle, offset, values)
-                if job.fsync_every and (i + 1) % job.fsync_every == 0:
-                    yield from filesystem.fsync(handle)
+                with sim.telemetry.span("fio.write", "workload", job=index):
+                    values = [("fio", index, i, b)
+                              for b in range(job.blocks_per_io)]
+                    yield from filesystem.pwrite(handle, offset, values)
+                    if job.fsync_every and (i + 1) % job.fsync_every == 0:
+                        yield from filesystem.fsync(handle)
             else:
-                yield from filesystem.pread(handle, offset, job.blocks_per_io)
+                with sim.telemetry.span("fio.read", "workload", job=index):
+                    yield from filesystem.pread(handle, offset,
+                                                job.blocks_per_io)
             if i >= job.warmup_ios:
                 latency.record(sim.now - begin)
                 state["completed"] += 1

@@ -32,6 +32,8 @@ class CommandQueue:
         self._slots = Resource(sim, capacity=depth)
         self._backlog = []
         self.max_observed_depth = 0
+        sim.telemetry.add_probe("ncq.depth",
+                                lambda: self._slots.in_use, "host")
 
     @property
     def outstanding(self):
@@ -42,19 +44,23 @@ class CommandQueue:
         return self.sim.process(self._dispatch(request))
 
     def _dispatch(self, request):
-        if not self.ordered and self._rng is not None and self.reorder_window > 1:
-            # An unordered queue may sit on a command briefly while later
-            # arrivals overtake it.
-            jitter = self._rng.random() * self.device.command_overhead \
-                * self.reorder_window
-            yield self.sim.timeout(jitter)
-        yield self._slots.acquire()
-        self.max_observed_depth = max(self.max_observed_depth,
-                                      self._slots.in_use)
-        try:
-            completed = yield self.device.submit(request)
-        finally:
-            self._slots.release()
+        with self.sim.telemetry.span("ncq.slot", "host", op=request.op,
+                                     lba=request.lba) as span:
+            if not self.ordered and self._rng is not None \
+                    and self.reorder_window > 1:
+                # An unordered queue may sit on a command briefly while
+                # later arrivals overtake it.
+                jitter = self._rng.random() * self.device.command_overhead \
+                    * self.reorder_window
+                yield self.sim.timeout(jitter)
+            yield self._slots.acquire()
+            self.max_observed_depth = max(self.max_observed_depth,
+                                          self._slots.in_use)
+            span.annotate(depth=self._slots.in_use)
+            try:
+                completed = yield self.device.submit(request)
+            finally:
+                self._slots.release()
         return completed
 
     def flush(self):

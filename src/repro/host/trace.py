@@ -6,7 +6,16 @@ The summaries answer the questions the paper's analysis keeps asking —
 how often does the device flush, how bursty are the writes, what does
 the read-latency distribution look like while writes are in flight —
 without touching the device model itself.
+
+.. deprecated::
+    :class:`IOTracer` is kept as a compatibility shim for device-level
+    command logs.  New code should use :mod:`repro.telemetry` — causal
+    spans cover the device commands IOTracer sees *plus* every layer
+    above them, and export to Chrome trace / JSONL.  See
+    ``docs/OBSERVABILITY.md``.
 """
+
+from bisect import bisect_right
 
 from ..sim import LatencyRecorder, units
 
@@ -52,6 +61,18 @@ class IOTracer:
         return tracer
 
     def detach(self):
+        """Unwrap the device.
+
+        Tracers may nest (each wraps the previous), but must detach in
+        LIFO order — detaching out of order, or twice, would splice a
+        dead wrapper back into the device, so both raise instead.
+        """
+        if not self.enabled:
+            raise RuntimeError("tracer is already detached")
+        if self.device.submit != self._traced_submit:
+            raise RuntimeError(
+                "another tracer is still attached on top of this one; "
+                "detach tracers in LIFO order")
         self.device.submit = self._original_submit
         self.device.flush_cache = self._original_flush
         self.enabled = False
@@ -128,24 +149,22 @@ class IOTracer:
 
 def render_latency_histogram(recorder, buckets=12, width=40):
     """ASCII latency histogram (log-spaced) for a LatencyRecorder."""
-    samples = sorted(recorder._samples)
+    samples = recorder.sorted_samples()
     if not samples:
         return "(no samples)"
-    import math
-    low = max(min(samples), 1e-7)
-    high = max(samples)
+    low = max(samples[0], 1e-7)
+    high = samples[-1]
     if high <= low:
         high = low * 10
     edges = [low * (high / low) ** (i / buckets)
              for i in range(buckets + 1)]
-    counts = [0] * buckets
-    for value in samples:
-        for index in range(buckets):
-            if value <= edges[index + 1]:
-                counts[index] += 1
-                break
-        else:
-            counts[-1] += 1
+    # Samples are sorted: bucket i gets everything in (edges[i],
+    # edges[i+1]], plus bucket boundaries — one bisect per edge instead
+    # of a linear edge scan per sample.  Values past the last edge land
+    # in the final bucket, matching the old first-match semantics.
+    bounds = [0] + [bisect_right(samples, edge) for edge in edges[1:-1]] \
+        + [len(samples)]
+    counts = [bounds[i + 1] - bounds[i] for i in range(buckets)]
     peak = max(counts)
     lines = []
     for index, count in enumerate(counts):

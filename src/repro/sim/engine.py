@@ -23,6 +23,8 @@ Example
 import heapq
 from itertools import count
 
+from ..telemetry.hub import Telemetry
+
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
@@ -138,7 +140,7 @@ class Process(Event):
     wait on each other.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "span")
 
     def __init__(self, sim, generator):
         super().__init__(sim)
@@ -146,6 +148,11 @@ class Process(Event):
             raise SimulationError("process requires a generator, got %r" % (generator,))
         self._generator = generator
         self._waiting_on = None
+        # Telemetry span context: a spawned process inherits the span of
+        # whoever spawned it, so causality follows process fan-out.
+        creator = sim._active_process
+        self.span = creator.span if creator is not None \
+            else sim.telemetry._ambient
         # Kick off at the current instant (deterministically ordered).
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
@@ -170,29 +177,41 @@ class Process(Event):
     def _throw(self, exception):
         if not self.is_alive:
             return
+        sim = self.sim
+        previous = sim._active_process
+        sim._active_process = self
         try:
-            result = self._generator.throw(exception)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
-            self._terminate(exc)
-            return
+            try:
+                result = self._generator.throw(exception)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+                self._terminate(exc)
+                return
+        finally:
+            sim._active_process = previous
         self._wait_on(result)
 
     def _resume(self, event):
         self._waiting_on = None
+        sim = self.sim
+        previous = sim._active_process
+        sim._active_process = self
         try:
-            if event._ok:
-                result = self._generator.send(event._value)
-            else:
-                result = self._generator.throw(event._value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
-            self._terminate(exc)
-            return
+            try:
+                if event._ok:
+                    result = self._generator.send(event._value)
+                else:
+                    result = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+                self._terminate(exc)
+                return
+        finally:
+            sim._active_process = previous
         self._wait_on(result)
 
     def _wait_on(self, result):
@@ -294,13 +313,36 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of triggered events."""
+    """The event loop: a clock plus a priority queue of triggered events.
 
-    def __init__(self):
+    ``telemetry`` is the observability hub every layer reports into
+    (:mod:`repro.telemetry`); when omitted a disabled hub is installed,
+    whose calls all short-circuit — the simulation behaves identically
+    with telemetry absent, disabled or enabled.
+    """
+
+    def __init__(self, telemetry=None):
         self.now = 0.0
         self._heap = []
         self._sequence = count()
         self._stopped = False
+        self._active_process = None
+        # Probe-sampling hook: armed only when an enabled hub has probes
+        # registered, so the common path pays one None check per step.
+        self._tick = None
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry(enabled=False)
+        self.telemetry._bind(self)
+        if self.telemetry.probes:
+            self._arm_telemetry_tick()
+
+    @property
+    def active_process(self):
+        """The process whose generator is currently executing, if any."""
+        return self._active_process
+
+    def _arm_telemetry_tick(self):
+        self._tick = self.telemetry._on_clock_advance
 
     # --- scheduling -----------------------------------------------------
     def _push(self, event, delay):
@@ -337,6 +379,11 @@ class Simulator:
     def step(self):
         """Process exactly one event."""
         when, _seq, event = heapq.heappop(self._heap)
+        if self._tick is not None and when > self.now:
+            # Sample telemetry probes at every grid instant the clock is
+            # about to jump over.  State is constant between events, so
+            # this observes without adding events or perturbing anything.
+            self._tick(when)
         self.now = when
         event._process()
 
@@ -351,12 +398,16 @@ class Simulator:
         try:
             while self._heap:
                 if until is not None and self._heap[0][0] > until:
+                    if self._tick is not None and until > self.now:
+                        self._tick(until)
                     self.now = until
                     return
                 self.step()
         except StopSimulation:
             self._stopped = True
         if until is not None and self.now < until and not self._stopped:
+            if self._tick is not None:
+                self._tick(until)
             self.now = until
 
     def run_until(self, event):

@@ -18,15 +18,23 @@ class LatencyRecorder:
     def __init__(self, name=""):
         self.name = name
         self._samples = []
+        self._sorted = None  # cache, rebuilt lazily after new samples
 
     def record(self, latency):
         if latency < 0:
             raise ValueError("negative latency: %r" % latency)
         self._samples.append(latency)
+        self._sorted = None
 
     def extend(self, latencies):
         for latency in latencies:
             self.record(latency)
+
+    def sorted_samples(self):
+        """All samples in ascending order (cached between records)."""
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
 
     def __len__(self):
         return len(self._samples)
@@ -55,7 +63,7 @@ class LatencyRecorder:
             raise ValueError("fraction must be in (0, 1]: %r" % fraction)
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self.sorted_samples()
         rank = max(1, math.ceil(fraction * len(ordered)))
         return ordered[rank - 1]
 

@@ -1,0 +1,183 @@
+"""Exporters: JSONL, Chrome ``trace_event`` JSON, and ASCII summaries.
+
+The Chrome format follows the Trace Event Format spec (the JSON Object
+variant with a ``traceEvents`` array) so the file loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* each layer track becomes one named thread (``tid``) of one process,
+* spans are complete events (``ph: "X"``, microsecond ``ts``/``dur``),
+* probe samples are counter events (``ph: "C"``),
+* instants are instant events (``ph: "i"``).
+
+The ASCII renderers keep the same information terminal-friendly: a
+merged flamegraph of span paths plus per-track and per-probe tables.
+"""
+
+import json
+
+#: simulated seconds -> trace microseconds
+_US = 1e6
+
+
+def write_jsonl(events, path):
+    """Write the raw event stream, one canonical JSON object per line."""
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+
+def chrome_trace_events(events):
+    """Convert hub events to a Chrome trace_event JSON object (a dict)."""
+    track_order = []
+    for event in events:
+        if event["track"] not in track_order:
+            track_order.append(event["track"])
+    tid_of = {track: index + 1 for index, track in enumerate(track_order)}
+    out = [{"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+            "args": {"name": "repro simulated I/O stack"}}]
+    for track in track_order:
+        out.append({"ph": "M", "pid": 1, "tid": tid_of[track],
+                    "name": "thread_name", "args": {"name": track}})
+    body = []
+    for event in events:
+        tid = tid_of[event["track"]]
+        if event["type"] == "span":
+            args = {"span_id": event["id"], "parent": event["parent"]}
+            args.update(event["attrs"])
+            body.append({"ph": "X", "pid": 1, "tid": tid,
+                         "name": event["name"], "cat": event["track"],
+                         "ts": event["ts"] * _US,
+                         "dur": event["dur"] * _US, "args": args})
+        elif event["type"] == "instant":
+            args = {"span_id": event["id"], "parent": event["parent"]}
+            args.update(event["attrs"])
+            body.append({"ph": "i", "s": "t", "pid": 1, "tid": tid,
+                         "name": event["name"], "cat": event["track"],
+                         "ts": event["ts"] * _US, "args": args})
+        elif event["type"] == "sample":
+            body.append({"ph": "C", "pid": 1, "tid": tid,
+                         "name": event["name"], "ts": event["ts"] * _US,
+                         "args": {"value": event["value"]}})
+    # Begin-sorted, longest-first: gives strict-viewer-friendly nesting.
+    body.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    return {"traceEvents": out + body, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events, path):
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_events(events), handle, sort_keys=True)
+        handle.write("\n")
+
+
+# --- ASCII ---------------------------------------------------------------
+def render_flamegraph(events, width=48):
+    """Merged span-path flamegraph: identical paths aggregate, bars are
+    proportional to total time under each path."""
+    spans = [event for event in events if event["type"] == "span"]
+    if not spans:
+        return "(no spans)"
+    by_id = {event["id"]: event for event in spans}
+    children = {}
+    roots = []
+    for event in spans:
+        parent = event["parent"]
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(event)
+        else:
+            roots.append(event)
+
+    def add(node_map, span):
+        key = (span["track"], span["name"])
+        node = node_map.setdefault(key, {"count": 0, "total": 0.0,
+                                         "kids": {}})
+        node["count"] += 1
+        node["total"] += span["dur"]
+        for child in children.get(span["id"], ()):
+            add(node["kids"], child)
+
+    top = {}
+    for root in roots:
+        add(top, root)
+    grand_total = sum(node["total"] for node in top.values()) or 1.0
+    lines = []
+
+    def walk(node_map, depth):
+        ordered = sorted(node_map.items(),
+                         key=lambda item: (-item[1]["total"], item[0]))
+        for (track, name), node in ordered:
+            label = "  " * depth + "%s/%s" % (track, name)
+            bar = "#" * max(1, int(round(width * node["total"]
+                                         / grand_total)))
+            lines.append("%-46s %10.3fms x%-6d %s"
+                         % (label[:46], node["total"] * 1e3,
+                            node["count"], bar))
+            walk(node["kids"], depth + 1)
+
+    walk(top, 0)
+    return "\n".join(lines)
+
+
+def _probe_table(events):
+    stats = {}
+    order = []
+    for event in events:
+        if event["type"] != "sample":
+            continue
+        name = event["name"]
+        if name not in stats:
+            stats[name] = []
+            order.append(name)
+        stats[name].append(event["value"])
+    if not order:
+        return "(no probe samples)"
+    lines = ["%-34s %7s %10s %10s %10s %10s"
+             % ("probe", "n", "min", "mean", "max", "last")]
+    for name in order:
+        values = stats[name]
+        lines.append("%-34s %7d %10.4g %10.4g %10.4g %10.4g"
+                     % (name[:34], len(values), min(values),
+                        sum(values) / len(values), max(values), values[-1]))
+    return "\n".join(lines)
+
+
+def _track_table(events):
+    totals = {}
+    order = []
+    for event in events:
+        if event["type"] != "span":
+            continue
+        track = event["track"]
+        if track not in totals:
+            totals[track] = [0, 0.0]
+            order.append(track)
+        totals[track][0] += 1
+        totals[track][1] += event["dur"]
+    if not order:
+        return "(no spans)"
+    lines = ["%-12s %9s %14s" % ("track", "spans", "busy ms")]
+    for track in order:
+        count, busy = totals[track]
+        lines.append("%-12s %9d %14.3f" % (track, count, busy * 1e3))
+    return "\n".join(lines)
+
+
+def render_summary(events, width=72):
+    """The terminal exporter: tracks, flamegraph and probe tables."""
+    n_spans = sum(1 for e in events if e["type"] == "span")
+    n_samples = sum(1 for e in events if e["type"] == "sample")
+    n_instants = sum(1 for e in events if e["type"] == "instant")
+    bar = "=" * width
+    sections = [
+        bar,
+        "telemetry summary: %d spans, %d probe samples, %d instants"
+        % (n_spans, n_samples, n_instants),
+        bar,
+        "-- per-layer span time " + "-" * (width - 23),
+        _track_table(events),
+        "-- span flamegraph (merged paths) " + "-" * (width - 34),
+        render_flamegraph(events),
+        "-- probes " + "-" * (width - 10),
+        _probe_table(events),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,299 @@
+"""The telemetry hub: span context, probe sampling, event collection.
+
+Design constraints (tested, not aspirational):
+
+* **No globals.**  All state lives on one :class:`Telemetry` instance
+  owned by a :class:`~repro.sim.Simulator`.  Two simulators never share
+  telemetry state.
+* **Deterministic.**  Events are appended in simulation order, span ids
+  are a per-hub counter, and probe sampling happens at fixed points of
+  the *simulated* clock — two runs with the same seed produce
+  byte-identical JSONL streams.
+* **Zero overhead when disabled.**  Every entry point short-circuits on
+  ``self.enabled``; a disabled hub never allocates a span, schedules an
+  event or reads a probe, so simulation outputs are identical with or
+  without it.
+
+Span context propagation
+------------------------
+The simulation kernel runs one process at a time.  Each
+:class:`~repro.sim.engine.Process` carries a ``span`` attribute:
+
+* opening a span inside a process pushes it as that process's current
+  span (restored when the span closes — a per-process span stack);
+* spawning a process *inherits* the spawner's current span, so causality
+  follows ``sim.process(...)`` fan-out across layers for free.
+
+A span is therefore safe to hold open across ``yield``s: interleaved
+processes each see their own context.
+"""
+
+import json
+
+from .probes import Probe
+
+
+class Span:
+    """One timed, named unit of work on a layer track.
+
+    Use as a context manager (works across generator ``yield``s)::
+
+        with sim.telemetry.span("fs.fsync", "host", file=name) as span:
+            ...
+            span.annotate(journalled=True)
+    """
+
+    __slots__ = ("telemetry", "span_id", "parent_id", "name", "track",
+                 "start", "end", "attrs", "_process", "_saved")
+
+    def __init__(self, telemetry, name, track, parent_id, attrs):
+        self.telemetry = telemetry
+        self.span_id = telemetry._next_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.track = track
+        self.start = None
+        self.end = None
+        self.attrs = attrs
+        self._process = None
+        self._saved = None
+
+    @property
+    def duration(self):
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def annotate(self, **attrs):
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        telemetry = self.telemetry
+        sim = telemetry.sim
+        process = sim.active_process
+        if self.parent_id is None:
+            ambient = process.span if process is not None \
+                else telemetry._ambient
+            if ambient is not None:
+                self.parent_id = ambient.span_id
+        self._process = process
+        if process is not None:
+            self._saved = process.span
+            process.span = self
+        else:
+            self._saved = telemetry._ambient
+            telemetry._ambient = self
+        self.start = sim.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._process is not None:
+            self._process.span = self._saved
+        else:
+            self.telemetry._ambient = self._saved
+        self.end = self.telemetry.sim.now
+        self.telemetry._record_span(self)
+        return False
+
+    def __repr__(self):
+        return "<Span %d %s/%s [%s..%s]>" % (
+            self.span_id, self.track, self.name, self.start, self.end)
+
+
+class _NullSpan:
+    """Shared, stateless no-op stand-in returned by a disabled hub."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    start = None
+    end = None
+    duration = None
+
+    def annotate(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+#: the single no-op span every disabled hub hands out
+NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Collects spans, instants and probe samples from one simulator.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled hub ignores everything (the default hub a bare
+        ``Simulator()`` creates is disabled).
+    sample_interval:
+        Simulated seconds between probe samples.  Sampling rides on
+        clock advances — it adds no events to the simulation.
+    """
+
+    def __init__(self, enabled=True, sample_interval=0.002):
+        self.enabled = enabled
+        self.sample_interval = sample_interval
+        self.sim = None
+        #: every recorded event, in deterministic append order
+        self.events = []
+        self.probes = []
+        self._probe_names = set()
+        self._span_counter = 0
+        self._ambient = None       # span stack for code outside processes
+        self._next_sample_at = 0.0
+
+    # --- wiring ---------------------------------------------------------
+    def _bind(self, sim):
+        if self.sim is not None and self.sim is not sim:
+            raise ValueError("telemetry hub is already bound to a simulator")
+        self.sim = sim
+
+    def _next_span_id(self):
+        self._span_counter += 1
+        return self._span_counter
+
+    # --- spans ----------------------------------------------------------
+    def span(self, name, track, parent=None, **attrs):
+        """A context-manager span on ``track``; parent defaults to the
+        active process's current span (explicit ``parent`` overrides)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if self.sim is None:
+            raise RuntimeError("telemetry is not bound to a Simulator")
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        return Span(self, name, track, parent_id, attrs)
+
+    def instant(self, name, track, **attrs):
+        """A zero-duration event, causally linked to the current span."""
+        if not self.enabled:
+            return
+        process = self.sim.active_process
+        ambient = process.span if process is not None else self._ambient
+        self.events.append({
+            "type": "instant",
+            "id": self._next_span_id(),
+            "parent": ambient.span_id if ambient is not None else None,
+            "name": name,
+            "track": track,
+            "ts": self.sim.now,
+            "attrs": attrs,
+        })
+
+    def _record_span(self, span):
+        self.events.append({
+            "type": "span",
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "track": span.track,
+            "ts": span.start,
+            "dur": span.end - span.start,
+            "attrs": span.attrs,
+        })
+
+    # --- probes ---------------------------------------------------------
+    def add_probe(self, name, fn, track="probe"):
+        """Register a gauge sampled every ``sample_interval`` simulated
+        seconds.  Duplicate names get a deterministic ``#n`` suffix (two
+        devices both expose ``device.cache_occupancy``); returns the
+        final name, or None on a disabled hub."""
+        if not self.enabled:
+            return None
+        base, n = name, 1
+        while name in self._probe_names:
+            n += 1
+            name = "%s#%d" % (base, n)
+        self._probe_names.add(name)
+        self.probes.append(Probe(name, track, fn))
+        if self.sim is not None:
+            self.sim._arm_telemetry_tick()
+        return name
+
+    def sample_now(self):
+        """Force one sample of every probe at the current instant."""
+        if not self.enabled:
+            return
+        self._sample_all(self.sim.now if self.sim is not None else 0.0)
+
+    def _sample_all(self, ts):
+        for probe in self.probes:
+            self.events.append({
+                "type": "sample",
+                "name": probe.name,
+                "track": probe.track,
+                "ts": ts,
+                "value": probe.fn(),
+            })
+
+    def _on_clock_advance(self, when):
+        """Called by the simulator just before ``now`` jumps to ``when``.
+
+        Samples every probe at each grid point the jump crosses.  State
+        is constant between events, so the value recorded for grid time
+        ``t`` is exactly the simulated state at ``t``.
+        """
+        if not self.probes:
+            return
+        while self._next_sample_at <= when:
+            self._sample_all(self._next_sample_at)
+            self._next_sample_at += self.sample_interval
+
+    # --- accessors ------------------------------------------------------
+    def spans(self, name=None, track=None):
+        """Recorded span events, optionally filtered."""
+        return [event for event in self.events
+                if event["type"] == "span"
+                and (name is None or event["name"] == name)
+                and (track is None or event["track"] == track)]
+
+    def span_durations(self, name=None, track=None):
+        """Durations (seconds) of matching spans, in completion order."""
+        return [event["dur"] for event in self.spans(name, track)]
+
+    def samples(self, name=None):
+        """Recorded probe samples, optionally filtered by probe name."""
+        return [event for event in self.events
+                if event["type"] == "sample"
+                and (name is None or event["name"] == name)]
+
+    def instants(self, name=None, track=None):
+        return [event for event in self.events
+                if event["type"] == "instant"
+                and (name is None or event["name"] == name)
+                and (track is None or event["track"] == track)]
+
+    def tracks(self):
+        """Distinct track names, in first-appearance order."""
+        seen = []
+        for event in self.events:
+            if event["track"] not in seen:
+                seen.append(event["track"])
+        return seen
+
+    # --- export ---------------------------------------------------------
+    def jsonl(self):
+        """The full event stream as canonical JSONL text."""
+        return "".join(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                       for event in self.events)
+
+    def write_jsonl(self, path):
+        from .export import write_jsonl
+        write_jsonl(self.events, path)
+
+    def write_chrome_trace(self, path):
+        from .export import write_chrome_trace
+        write_chrome_trace(self.events, path)
+
+    def render_summary(self, width=72):
+        from .export import render_summary
+        return render_summary(self.events, width=width)

@@ -1,0 +1,44 @@
+"""Time-series probes: named gauges sampled on simulated time.
+
+A probe is a zero-argument callable returning a number; layers register
+their own gauges against the hub when they are constructed (a disabled
+hub ignores the registration, so construction order is the only
+contract).  The standard catalog the stack exposes:
+
+===========================  =======  ==========================================
+probe name                   track    meaning
+===========================  =======  ==========================================
+``device.cache_occupancy``   device   buffered LBAs in the DRAM write cache
+``device.cache_dedup_hits``  device   cumulative write-cache dedup hits
+``device.capacitor_headroom`` device  dump-budget bytes minus dirty bytes
+                                      (DuraSSD only)
+``ncq.depth``                host     commands currently occupying NCQ slots
+``ftl.dirty_mapping``        flash    mapping entries not yet persisted
+``ftl.free_blocks``          flash    free NAND blocks (GC pressure)
+``ftl.gc_runs``              flash    cumulative garbage-collection runs
+``bp.dirty_pages``           db       dirty frames in the buffer pool
+``bp.free_frames``           db       free frames in the buffer pool
+``wal.buffered_bytes``       db       redo bytes not yet written out
+``wal.checkpoint_pressure``  db       checkpoint age / log capacity
+``dwb.pages_written``        db       cumulative doublewrite page traffic
+===========================  =======  ==========================================
+
+Instances are disambiguated deterministically (``name#2``, ``name#3``…)
+in construction order, so the data-device cache is ``device.cache_occupancy``
+and the log-device cache is ``device.cache_occupancy#2`` in the paper's
+two-drive MySQL world.
+"""
+
+
+class Probe:
+    """One registered gauge: a name, a layer track, and a callable."""
+
+    __slots__ = ("name", "track", "fn")
+
+    def __init__(self, name, track, fn):
+        self.name = name
+        self.track = track
+        self.fn = fn
+
+    def __repr__(self):
+        return "<Probe %s (%s)>" % (self.name, self.track)

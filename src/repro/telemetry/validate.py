@@ -1,0 +1,124 @@
+"""Schema check for exported Chrome trace_event files.
+
+Usable as a library (``validate_chrome_trace``) or a CLI — CI's smoke
+job runs::
+
+    REPRO_QUICK=1 python -m repro trace table1 --out trace.json
+    python -m repro.telemetry.validate trace.json --min-tracks 4
+
+The checks cover exactly what downstream viewers require: the JSON
+Object Format envelope, per-phase mandatory fields, non-negative
+durations, and (optionally) a minimum number of named layer tracks.
+"""
+
+import json
+import sys
+
+_ALLOWED_PHASES = {"X", "i", "C", "M", "B", "E", "b", "e"}
+
+
+def validate_chrome_trace(obj, min_tracks=0, require_tracks=()):
+    """Validate a parsed trace object; returns a list of error strings
+    (empty when the trace is valid)."""
+    errors = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    tracks = {}
+    n_spans = 0
+    for index, event in enumerate(events):
+        where = "traceEvents[%d]" % index
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase not in _ALLOWED_PHASES:
+            errors.append("%s: bad phase %r" % (where, phase))
+            continue
+        if "name" not in event or "pid" not in event:
+            errors.append("%s: missing name/pid" % where)
+            continue
+        if phase == "M":
+            if event["name"] == "thread_name":
+                tracks[event.get("tid")] = event.get("args", {}).get("name")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append("%s: missing numeric ts" % where)
+            continue
+        if phase == "X":
+            n_spans += 1
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                errors.append("%s: 'X' event needs dur >= 0 (got %r)"
+                              % (where, duration))
+    if n_spans == 0:
+        errors.append("trace contains no span ('X') events")
+    named = {name for name in tracks.values() if name}
+    if min_tracks and len(named) < min_tracks:
+        errors.append("expected >= %d named tracks, found %d: %s"
+                      % (min_tracks, len(named), sorted(named)))
+    missing = [track for track in require_tracks if track not in named]
+    if missing:
+        errors.append("missing required tracks: %s (found %s)"
+                      % (missing, sorted(named)))
+    return errors
+
+
+def validate_trace_file(path, min_tracks=0, require_tracks=()):
+    """Load ``path`` and validate it; returns (errors, stats dict)."""
+    try:
+        with open(path) as handle:
+            obj = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["cannot load %s: %s" % (path, exc)], {}
+    errors = validate_chrome_trace(obj, min_tracks=min_tracks,
+                                   require_tracks=require_tracks)
+    events = obj.get("traceEvents", []) if isinstance(obj, dict) else []
+    tracks = sorted({event.get("args", {}).get("name")
+                     for event in events
+                     if isinstance(event, dict)
+                     and event.get("ph") == "M"
+                     and event.get("name") == "thread_name"})
+    stats = {"events": len(events), "tracks": tracks}
+    return errors, stats
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    min_tracks = 0
+    require = []
+    paths = []
+    while argv:
+        arg = argv.pop(0)
+        if arg == "--min-tracks":
+            min_tracks = int(argv.pop(0))
+        elif arg == "--require-tracks":
+            require = [t for t in argv.pop(0).split(",") if t]
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if not paths:
+        print("usage: python -m repro.telemetry.validate TRACE.json "
+              "[--min-tracks N] [--require-tracks a,b,c]")
+        return 2
+    status = 0
+    for path in paths:
+        errors, stats = validate_trace_file(path, min_tracks=min_tracks,
+                                            require_tracks=require)
+        if errors:
+            status = 1
+            print("%s: INVALID" % path)
+            for error in errors:
+                print("  - %s" % error)
+        else:
+            print("%s: OK (%d events, tracks: %s)"
+                  % (path, stats["events"], ", ".join(stats["tracks"])))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -234,12 +234,14 @@ class LinkBenchWorkload:
                 cpu = (self.config.cpu_per_operation +
                        self._pages_touched(name) * page_kib *
                        self.config.cpu_per_page_kib)
-                yield cores.acquire()
-                try:
-                    yield sim.timeout(cpu)
-                finally:
-                    cores.release()
-                yield from self._operation(name, node)
+                with sim.telemetry.span("op." + name, "workload",
+                                        client=index, node=node):
+                    yield cores.acquire()
+                    try:
+                        yield sim.timeout(cpu)
+                    finally:
+                        cores.release()
+                    yield from self._operation(name, node)
                 if i >= warmup_ops:
                     latency = sim.now - begin
                     result.op_latency[name].record(latency)

@@ -106,3 +106,63 @@ class TestHistogram:
         recorder.record(0.005)
         text = render_latency_histogram(recorder, buckets=3)
         assert text.count("#") > 0
+
+
+class TestDetachSafety:
+    def test_detach_twice_raises(self, sim):
+        device = make_durassd(sim)
+        tracer = IOTracer.attach(sim, device)
+        tracer.detach()
+        with pytest.raises(RuntimeError, match="already detached"):
+            tracer.detach()
+
+    def test_out_of_order_detach_raises(self, sim):
+        device = make_durassd(sim)
+        inner = IOTracer.attach(sim, device)
+        outer = IOTracer.attach(sim, device)  # wraps inner
+        with pytest.raises(RuntimeError, match="LIFO"):
+            inner.detach()
+        # the stack is untouched: LIFO detach still works afterwards
+        outer.detach()
+        inner.detach()
+
+    def test_lifo_detach_restores_device(self, sim):
+        device = make_durassd(sim)
+        original_submit = device.submit
+        original_flush = device.flush_cache
+        inner = IOTracer.attach(sim, device)
+        outer = IOTracer.attach(sim, device)
+        outer.detach()
+        inner.detach()
+        assert device.submit == original_submit
+        assert device.flush_cache == original_flush
+
+    def test_nested_tracers_both_record(self, sim):
+        device = make_durassd(sim)
+        inner = IOTracer.attach(sim, device)
+        outer = IOTracer.attach(sim, device)
+
+        def body():
+            yield device.submit(IORequest("write", 0, 1, payload=["x"]))
+
+        run_process(sim, body())
+        assert len(inner.of_kind("write")) == 1
+        assert len(outer.of_kind("write")) == 1
+
+
+class TestHistogramBuckets:
+    def test_counts_cover_every_sample(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.0001 * (i + 1) for i in range(37)])
+        text = render_latency_histogram(recorder, buckets=6)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 37
+
+    def test_extremes_land_in_end_buckets(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.001] * 4 + [0.5] * 3)
+        text = render_latency_histogram(recorder, buckets=4)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert counts[0] == 4
+        assert counts[-1] == 3
+        assert sum(counts) == 7

@@ -108,3 +108,31 @@ class TestCounterSet:
         snapshot = counters.as_dict()
         snapshot["x"] = 99
         assert counters.get("x") == 1
+
+
+class TestSortedCache:
+    def test_percentile_reflects_samples_recorded_after_a_query(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.5, 0.1])
+        assert recorder.percentile(1.0) == 0.5  # populates the cache
+        recorder.record(0.9)  # must invalidate it
+        assert recorder.percentile(1.0) == 0.9
+        assert recorder.percentile(0.5) == 0.5
+
+    def test_sorted_samples_is_ordered_and_cached(self):
+        recorder = LatencyRecorder()
+        recorder.extend([3.0, 1.0, 2.0])
+        first = recorder.sorted_samples()
+        assert first == [1.0, 2.0, 3.0]
+        assert recorder.sorted_samples() is first  # cached between records
+        recorder.record(0.5)
+        assert recorder.sorted_samples() == [0.5, 1.0, 2.0, 3.0]
+
+    def test_merged_recorder_sorts_fresh(self):
+        left, right = LatencyRecorder(), LatencyRecorder()
+        left.extend([0.3, 0.1])
+        right.extend([0.2])
+        left.percentile(0.5)  # warm left's cache before merging
+        merged = left.merged_with(right)
+        assert merged.sorted_samples() == [0.1, 0.2, 0.3]
+        assert merged.percentile(1.0) == 0.3
