@@ -9,6 +9,9 @@ Usage::
 
     python -m repro trace table1 --out trace.json   # telemetry trace
     python -m repro table1 --telemetry              # trace the real run
+
+    python -m repro torture innodb durassd          # crash-point sweep
+    python -m repro torture --smoke                 # CI torture gate
 """
 
 import sys
@@ -24,6 +27,7 @@ from .bench import (
     table3,
     table4,
     table5,
+    torture,
     tracing,
 )
 
@@ -63,6 +67,8 @@ def main(argv=None):
     target = argv[0]
     if target == "trace":
         return tracing.main(argv[1:])
+    if target == "torture":
+        return torture.main(argv[1:])
     if target == "all":
         for name in ORDER:
             print("=" * 70)

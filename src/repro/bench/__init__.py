@@ -15,6 +15,7 @@ from . import (  # noqa: F401
     table4,
     table5,
     tableio,
+    torture,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "table4",
     "table5",
     "tableio",
+    "torture",
 ]

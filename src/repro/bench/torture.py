@@ -1,0 +1,153 @@
+"""Crash-consistency torture sweeps over the device x engine matrix.
+
+Usage::
+
+    python -m repro torture                       # durassd / innodb, full sweep
+    python -m repro torture innodb ssd-a --barriers off
+    python -m repro torture --smoke               # CI: every preset, quick
+    python -m repro torture --ops 300 --out repro.json
+
+The smoke mode sweeps every device preset under InnoDB/LinkBench with
+auto barrier policy (off only for devices claiming a durable cache) and
+exits non-zero if any *promising* configuration violates an invariant at
+any cut point — plus a negative control proving the detector still
+catches the volatile-cache-no-barrier anomalies.  A failing or violating
+sweep can be minimized to a replayable JSON artifact with ``--out``.
+"""
+
+import json
+import sys
+import time
+
+from ..failures import torture as harness
+from . import setups
+
+DEVICES = ("hdd", "ssd-a", "ssd-b", "durassd")
+
+SMOKE_BASE_OPS = 40
+
+
+def run_sweep(engine, device, ops, seed=11, barriers=None, doublewrite=True,
+              max_trials=None, nested_stride=5):
+    scenario = harness.TortureScenario(engine=engine, device=device,
+                                       ops=ops, seed=seed, barriers=barriers,
+                                       doublewrite=doublewrite)
+    result = harness.sweep(scenario, max_trials=max_trials,
+                           nested_stride=nested_stride)
+    return scenario, result
+
+
+def _print_summary(label, result, elapsed):
+    summary = result.summary()
+    verdict = "PASS" if result.clean else "FAIL"
+    if not summary["expected_clean"] and summary["violations"]:
+        verdict = "FINDS"  # anomalies found where none were promised
+    print("%-28s %-10s trials=%-4d nested=%-3d violations=%-6d %5.1fs"
+          % (label, verdict, summary["trials"], summary["nested_trials"],
+             summary["violations"], elapsed))
+    if result.first_failure is not None:
+        print("    first failing cut: t=%.6f" % result.first_failure)
+
+
+def smoke(ops=None, seed=11):
+    """Quick sweep of every device preset; the CI torture gate."""
+    ops = ops if ops is not None else setups.ops_scale(SMOKE_BASE_OPS)
+    print("torture smoke: %d ops per sweep, seed %d" % (ops, seed))
+    exit_code = 0
+    for device in DEVICES:
+        begin = time.time()
+        _scenario, result = run_sweep("innodb", device, ops, seed=seed)
+        _print_summary("innodb/%s" % device, result, time.time() - begin)
+        if not result.clean:
+            exit_code = 1
+    # Negative control: with barriers off on a volatile cache the sweep
+    # MUST surface anomalies, or the detector itself is broken.
+    begin = time.time()
+    _scenario, control = run_sweep("innodb", "ssd-a", ops, seed=seed,
+                                   barriers=False)
+    found = sum(len(trial.violations) for trial in control.trials)
+    _print_summary("innodb/ssd-a (no barriers)", control,
+                   time.time() - begin)
+    if found == 0:
+        print("    negative control found no violations: detector broken")
+        exit_code = 1
+    print("torture smoke: %s" % ("ok" if exit_code == 0 else "FAILED"))
+    return exit_code
+
+
+def full(engine, device, ops, seed, barriers, doublewrite, max_trials,
+         out_path=None):
+    begin = time.time()
+    scenario, result = run_sweep(engine, device, ops, seed=seed,
+                                 barriers=barriers, doublewrite=doublewrite,
+                                 max_trials=max_trials)
+    _print_summary("%s/%s" % (engine, device), result, time.time() - begin)
+    summary = result.summary()
+    print("  mode=%s candidates=%d expected_clean=%r"
+          % (summary["mode"], summary["candidates"],
+             summary["expected_clean"]))
+    kinds = {}
+    for trial in result.trials:
+        for violation in trial.violations:
+            kind = ":".join(violation.split(":")[:2])
+            kinds[kind] = kinds.get(kind, 0) + 1
+    for kind in sorted(kinds):
+        print("  %-28s %d" % (kind, kinds[kind]))
+    if out_path and (result.failures or summary["violations"]):
+        predicate = ((lambda trial: trial.failed) if result.failures
+                     else (lambda trial: not trial.clean))
+        artifact = harness.minimize(scenario, result.recording.ops,
+                                    predicate=predicate)
+        if artifact is None:
+            print("  minimization found no stable repro")
+        else:
+            with open(out_path, "w") as handle:
+                json.dump(artifact, handle, indent=2, sort_keys=True)
+            print("  minimized repro (%d ops, cut t=%.6f): %s"
+                  % (len(artifact["ops"]), artifact["cut_time"], out_path))
+    return 1 if result.failures else 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+
+    def take_option(name, default=None):
+        if name in argv:
+            index = argv.index(name)
+            value = argv[index + 1]
+            del argv[index:index + 2]
+            return value
+        return default
+
+    smoke_mode = "--smoke" in argv
+    if smoke_mode:
+        argv.remove("--smoke")
+    no_doublewrite = "--no-doublewrite" in argv
+    if no_doublewrite:
+        argv.remove("--no-doublewrite")
+    ops = take_option("--ops")
+    seed = int(take_option("--seed", "11"))
+    barriers = take_option("--barriers", "auto")
+    max_trials = take_option("--max-trials")
+    out_path = take_option("--out")
+    if barriers not in ("auto", "on", "off"):
+        print("--barriers must be auto, on or off")
+        return 2
+    barriers = None if barriers == "auto" else (barriers == "on")
+    if smoke_mode:
+        return smoke(ops=int(ops) if ops else None, seed=seed)
+    engine = argv[0] if argv else "innodb"
+    device = argv[1] if len(argv) > 1 else "durassd"
+    return full(engine, device,
+                ops=int(ops) if ops else setups.ops_scale(200),
+                seed=seed, barriers=barriers,
+                doublewrite=not no_doublewrite,
+                max_trials=int(max_trials) if max_trials else None,
+                out_path=out_path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

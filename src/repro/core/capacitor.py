@@ -21,7 +21,7 @@ class CapacitorBank:
 
     def __init__(self, count=15, dump_bytes_per_capacitor=3.2 * units.MIB,
                  dump_bandwidth=160 * units.MIB, recharge_time=0.5,
-                 unit_price_usd=0.33):
+                 unit_price_usd=0.33, health=1.0):
         if count < 0:
             raise ValueError("capacitor count must be >= 0")
         self.count = count
@@ -29,10 +29,30 @@ class CapacitorBank:
         self.dump_bandwidth = dump_bandwidth
         self.recharge_time = recharge_time
         self.unit_price_usd = unit_price_usd
+        if not 0.0 <= health <= 1.0:
+            raise ValueError("health must be in [0, 1]: %r" % health)
+        # Tantalum banks age: ESR rises and capacitance falls, shrinking
+        # the energy (= dumpable bytes) the bank delivers.  Firmware
+        # periodically measures this; ``health`` is the measured fraction
+        # of the nominal budget that is still deliverable.
+        self.health = health
+
+    def degrade_to(self, health):
+        """Record a capacitance measurement; returns the new health."""
+        if not 0.0 <= health <= 1.0:
+            raise ValueError("health must be in [0, 1]: %r" % health)
+        self.health = health
+        return self.health
 
     @property
     def dump_budget_bytes(self):
-        """Total bytes the bank can push to flash after a power cut."""
+        """Bytes the bank can push to flash after a power cut, at the
+        currently measured health."""
+        return int(self.count * self.dump_bytes_per_capacitor * self.health)
+
+    @property
+    def nominal_dump_budget_bytes(self):
+        """The factory-fresh budget (health == 1.0)."""
         return int(self.count * self.dump_bytes_per_capacitor)
 
     @property

@@ -42,7 +42,13 @@ class DuraSSD(FlashSSD):
         # fits *by construction* — asserted by the failure checker.
         budget_slots = max(1, int((self.capacitors.dump_budget_bytes -
                                    MAPPING_DUMP_RESERVE) // units.LBA_SIZE))
+        self._nominal_cache_slots = self.cache.capacity_slots
         self.cache.capacity_slots = min(self.cache.capacity_slots, budget_slots)
+        # Durability state machine: DURABLE until the capacitor bank can
+        # no longer cover a dump, then permanently DEMOTED — the device
+        # stops claiming a durable cache and behaves like a conventional
+        # (barrier-honoring, volatile-cache) SSD instead of lying.
+        self.durable = True
         self.atomic_writer = AtomicWriter()
         self.recovery_manager = RecoveryManager(self.capacitors,
                                                 block_bytes=units.LBA_SIZE)
@@ -54,6 +60,42 @@ class DuraSSD(FlashSSD):
             lambda: (self.capacitors.dump_budget_bytes - MAPPING_DUMP_RESERVE
                      - len(self.cache) * units.LBA_SIZE),
             "device")
+
+    # --- capacitor degradation ---------------------------------------------
+    @property
+    def claims_durable_cache(self):
+        return self.durable
+
+    def set_capacitor_health(self, health):
+        """Record a capacitor-bank measurement and react to it.
+
+        Graceful degradation: while the (shrunken) budget still covers
+        the mapping reserve plus at least one buffered block, flow
+        control tightens to the new budget and the device stays durable.
+        Below that dump-energy threshold the device *demotes itself* —
+        it keeps running, but stops claiming that acked writes survive
+        power loss; hosts must re-enable barriers.  Returns whether the
+        device still claims durability.
+        """
+        self.capacitors.degrade_to(health)
+        return self._reassess_durability()
+
+    def _reassess_durability(self):
+        usable = self.capacitors.dump_budget_bytes - MAPPING_DUMP_RESERVE
+        budget_slots = int(usable // units.LBA_SIZE)
+        if budget_slots < 1:
+            if self.durable:
+                self.durable = False
+                self.sim.telemetry.instant(
+                    "durassd.demote", "device", device=self.name,
+                    capacitor_health=self.capacitors.health,
+                    dump_budget_bytes=self.capacitors.dump_budget_bytes)
+            return False
+        if self.durable:
+            self.cache.capacity_slots = min(self._nominal_cache_slots,
+                                            budget_slots)
+            self._wake_flusher()
+        return self.durable
 
     # --- atomic writer hooks ---------------------------------------------
     def _on_command_start(self, request):
@@ -68,6 +110,13 @@ class DuraSSD(FlashSSD):
 
     # --- power failure: dump under capacitor power -------------------------
     def power_fail(self):
+        if not self.durable:
+            # Demoted: the bank cannot fund a dump.  Honest volatile
+            # behaviour — the cache and un-persisted mapping vanish —
+            # which is exactly what the device advertised since demotion.
+            self.atomic_writer.discard_incomplete()
+            self._staging.clear()
+            return FlashSSD.power_fail(self)
         # Freeze NAND exactly like any SSD: in-flight programs shear.
         self.powered = False
         self.ftl.sever_inflight_programs()
@@ -89,16 +138,24 @@ class DuraSSD(FlashSSD):
         self.ftl.revert_unpersisted_mapping()
         return image
 
-    def reboot(self):
-        """Power on, recover (Section 3.4.2); returns recovery seconds."""
+    def reboot(self, interrupt_recovery_after=None):
+        """Power on, recover (Section 3.4.2); returns recovery seconds.
+
+        ``interrupt_recovery_after`` (torture-harness hook) cuts the
+        replay off after that many recovered items, leaving the device in
+        the mid-recovery state a nested power failure would produce; the
+        emergency flag stays set and the next reboot recovers in full.
+        """
         self.powered = True
         if self._power_on_event is not None:
             self._power_on_event.succeed()
             self._power_on_event = None
-        recovery_time = self.recovery_manager.replay(self)
-        self.sim.telemetry.instant("durassd.replay", "device",
-                                   device=self.name,
-                                   recovery_seconds=recovery_time)
+        recovery_time = self.recovery_manager.replay(
+            self, interrupt_after=interrupt_recovery_after)
+        self.sim.telemetry.instant(
+            "durassd.replay", "device", device=self.name,
+            recovery_seconds=recovery_time,
+            interrupted=self.recovery_manager.needs_recovery())
         if len(self.cache):
             self._wake_flusher()
         return recovery_time
@@ -113,6 +170,8 @@ class DuraSSD(FlashSSD):
     def durability_report(self):
         """Counters the tests and ablation benches assert on."""
         return {
+            "durable_mode": self.durable,
+            "capacitor_health": self.capacitors.health,
             "dumps": self.recovery_manager.dumps,
             "replays": self.recovery_manager.replays,
             "last_dump_fit": self.recovery_manager.last_dump_fit,

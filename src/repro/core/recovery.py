@@ -61,6 +61,7 @@ class RecoveryManager:
         self.dump_image = None
         self.dumps = 0
         self.replays = 0
+        self.interrupted_replays = 0
         self.last_dump_fit = True
 
     # --- power-failure side -----------------------------------------------
@@ -70,7 +71,20 @@ class RecoveryManager:
         Returns the image.  If the bank's budget is exceeded the image is
         truncated — acked data is lost, which the checker will flag; the
         device's flow control exists precisely to prevent this.
+
+        A power cut *during recovery* dumps again while the previous
+        image is still unconsumed.  The old image must not be clobbered:
+        the interrupted replay re-derived only part of it into DRAM, so
+        the new snapshot/delta is layered *over* the surviving image —
+        replay idempotency then makes the merged image equivalent to
+        finishing the interrupted recovery and crashing cleanly.
         """
+        if self.emergency_flag and self.dump_image is not None:
+            merged_buffer = dict(self.dump_image.buffer_snapshot)
+            merged_buffer.update(buffer_snapshot)
+            merged_delta = dict(self.dump_image.mapping_delta)
+            merged_delta.update(mapping_delta)
+            buffer_snapshot, mapping_delta = merged_buffer, merged_delta
         image = DumpImage(buffer_snapshot, mapping_delta, self.block_bytes)
         self.last_dump_fit = self.capacitors.can_dump(image.bytes_needed)
         if not self.last_dump_fit:
@@ -84,7 +98,7 @@ class RecoveryManager:
     def needs_recovery(self):
         return self.emergency_flag
 
-    def replay(self, device):
+    def replay(self, device, interrupt_after=None):
         """Reboot-time recovery (Section 3.4.2).
 
         1. Recharge capacitors (time charged to the caller).
@@ -95,15 +109,41 @@ class RecoveryManager:
         Returns the simulated recovery time in seconds.  Idempotent: the
         dump image is consumed only at the successful end, and replaying
         the same image twice produces identical state.
+
+        ``interrupt_after`` models a power cut in the middle of recovery:
+        items (mapping entries, then buffered blocks, in deterministic
+        sorted order) are applied up to that count and then the routine
+        stops *without* consuming the image or clearing the emergency
+        flag — exactly the state a real mid-recovery crash leaves behind.
         """
         if not self.emergency_flag:
             return 0.0
         image = self.dump_image
+        items = ([("map", lslot, image.mapping_delta[lslot])
+                  for lslot in sorted(image.mapping_delta)] +
+                 [("buf", lba, image.buffer_snapshot[lba])
+                  for lba in sorted(image.buffer_snapshot)])
+        budget = len(items) if interrupt_after is None else \
+            min(int(interrupt_after), len(items))
+        partial_delta = {}
+        for kind, key, value in items[:budget]:
+            if kind == "map":
+                partial_delta[key] = value
+            else:
+                device.cache.put(key, value)
+        if partial_delta:
+            device.ftl.apply_mapping_delta(partial_delta)
         recovery_time = self.capacitors.recharge_time
-        recovery_time += self.capacitors.dump_time(image.bytes_needed)
-        device.ftl.apply_mapping_delta(image.mapping_delta)
-        for lba, value in image.buffer_snapshot.items():
-            device.cache.put(lba, value)
+        done_fraction = budget / len(items) if items else 1.0
+        recovery_time += self.capacitors.dump_time(image.bytes_needed) * \
+            done_fraction
+        if budget < len(items):
+            # Crash-during-recovery: the flag stays set and the image
+            # survives, so the next reboot starts over from the (merged)
+            # dump.  Nothing applied so far can be lost — it is still in
+            # the image, and applying it twice is a no-op.
+            self.interrupted_replays += 1
+            return recovery_time
         # The merged table is persisted as part of recovery, so a clean
         # follow-up crash has no delta to lose.
         device.ftl.mark_mapping_persisted()

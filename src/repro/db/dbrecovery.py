@@ -30,6 +30,7 @@ class RecoveryReport:
         self.committed_txns_on_log = 0
         self.lost_committed_txns = []
         self.consistency_violations = []
+        self.interrupted = False
 
     @property
     def is_consistent(self):
@@ -45,14 +46,23 @@ class RecoveryReport:
                    len(self.consistency_violations)))
 
 
-def recover(engine, log_device_durable):
+def recover(engine, log_device_durable, crash_after_installs=None):
     """Run crash recovery for ``engine`` against post-crash device state.
 
     Untimed: recovery duration is not what the benchmarks measure.
     Returns a :class:`RecoveryReport`; the caller typically follows with
     :func:`check_consistency`.
+
+    ``crash_after_installs`` simulates a crash in the middle of recovery:
+    after that many page installs (DWB repairs + redo + undo) the pass
+    stops and returns with ``report.interrupted`` set.  Recovery is
+    idempotent — everything is recomputed from the WAL — so the caller
+    re-runs :func:`recover` after the next reboot, exactly like a real
+    ARIES restart.
     """
     report = RecoveryReport()
+    installs_left = (float("inf") if crash_after_installs is None
+                     else int(crash_after_installs))
     records = engine.wal.surviving_records(log_device_durable)
     committed = {record.txn_id for record in records
                  if record.space_id == COMMIT_MARKER}
@@ -70,11 +80,15 @@ def recover(engine, log_device_durable):
     if engine.doublewrite is not None:
         for space_id, page_no, version in \
                 engine.doublewrite.persistent_area_pages():
+            if installs_left <= 0:
+                report.interrupted = True
+                return report
             _home_version, error = engine.pagestore.persistent_page(
                 space_id, page_no)
             if error is not None:
                 engine.pagestore.install_page(space_id, page_no, version)
                 report.repaired_from_doublewrite += 1
+                installs_left -= 1
                 repaired.add((space_id, page_no))
 
     # Examine every page that was ever dirtied plus every logged page.
@@ -90,12 +104,17 @@ def recover(engine, log_device_durable):
             continue
         disk_version = disk_version or 0
         target = latest_committed.get(key, 0)
+        if disk_version == target:
+            continue
+        if installs_left <= 0:
+            report.interrupted = True
+            return report
+        engine.pagestore.install_page(space_id, page_no, target)
+        installs_left -= 1
         if disk_version < target:
-            engine.pagestore.install_page(space_id, page_no, target)
             report.redone += 1
-        elif disk_version > target:
+        else:
             # Uncommitted data reached storage: roll it back.
-            engine.pagestore.install_page(space_id, page_no, target)
             report.undone += 1
 
     # Acked commits whose redo vanished with a volatile log cache.

@@ -64,24 +64,40 @@ class AckRecord:
     """A completed write command, as seen (acked) by the host.
 
     The failure checker compares these against post-crash device state.
+    Most commands cover a contiguous LBA range; a vectored (scattered)
+    command may instead carry an explicit ``blocks`` list — ``payload``
+    is always positional with respect to ``blocks``.
     """
 
-    __slots__ = ("time", "lba", "nblocks", "payload", "sequence")
+    __slots__ = ("time", "lba", "nblocks", "payload", "sequence", "_blocks")
 
-    def __init__(self, time, lba, nblocks, payload, sequence):
+    def __init__(self, time, lba, nblocks, payload, sequence, blocks=None):
         self.time = time
         self.lba = lba
         self.nblocks = nblocks
         self.payload = list(payload)
         self.sequence = sequence
+        if blocks is not None:
+            blocks = list(blocks)
+            if len(blocks) != nblocks:
+                raise ValueError("blocks length %d != nblocks %d"
+                                 % (len(blocks), nblocks))
+        self._blocks = blocks
 
     @property
     def blocks(self):
+        if self._blocks is not None:
+            return self._blocks
         return range(self.lba, self.lba + self.nblocks)
 
 
 class StorageDevice:
     """Common machinery: host link, counters, ack log, power state."""
+
+    #: Whether the device promises that *acked* writes survive power
+    #: failure without barriers.  Only a healthy DuraSSD claims this; the
+    #: torture harness keys its pass/fail policy on it.
+    claims_durable_cache = False
 
     def __init__(self, sim, name, link_bandwidth=600 * units.MIB,
                  command_overhead=60 * units.USEC):

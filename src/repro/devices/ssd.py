@@ -125,6 +125,15 @@ class FlashSSD(StorageDevice):
         if cache_enabled:
             sim.process(self._flusher())
 
+    def inject_faults(self, fault_model):
+        """Attach a transient-fault model and retire its factory bad
+        blocks (:mod:`repro.failures.faults`)."""
+        self.array.attach_fault_model(fault_model)
+        for block in fault_model.pick_initial_bad_blocks(
+                self.array.geometry.total_blocks):
+            self.ftl.retire_block(block)
+        return fault_model
+
     # --- LBA <-> FTL slot mapping -------------------------------------------
     # The FTL's mapping unit may be 8KB (two LBAs per slot, conventional
     # SSDs) or 4KB (one LBA per slot, DuraSSD).  With an 8KB unit a

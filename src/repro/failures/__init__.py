@@ -1,4 +1,4 @@
-"""Power-fault injection and post-crash ACID checking."""
+"""Power-fault injection, transient faults and post-crash ACID checking."""
 
 from .checker import (
     CheckReport,
@@ -7,15 +7,45 @@ from .checker import (
     check_write_order,
     latest_acked_values,
 )
+from .faults import FaultConfig, FlashFaultError, TransientFaultModel
 from .injector import PowerCut, PowerFailureInjector, run_until_power_cut
+from .torture import (
+    TortureScenario,
+    TrialResult,
+    SweepResult,
+    build_world,
+    generate_ops,
+    make_artifact,
+    minimize,
+    record,
+    replay_artifact,
+    run_trial,
+    sweep,
+    verify_determinism,
+)
 
 __all__ = [
     "CheckReport",
+    "FaultConfig",
+    "FlashFaultError",
     "PowerCut",
     "PowerFailureInjector",
+    "SweepResult",
+    "TortureScenario",
+    "TransientFaultModel",
+    "TrialResult",
     "Violation",
+    "build_world",
     "check_device",
     "check_write_order",
+    "generate_ops",
     "latest_acked_values",
+    "make_artifact",
+    "minimize",
+    "record",
+    "replay_artifact",
+    "run_trial",
     "run_until_power_cut",
+    "sweep",
+    "verify_determinism",
 ]

@@ -103,9 +103,12 @@ def check_device(device, ack_log=None):
                  if latest[lba][1] == record.sequence]
         if len(owned) < 2:
             continue
+        blocks = record.blocks
         present = []
         for index in owned:
-            lba = record.lba + index
+            # blocks[index], not record.lba + index: a vectored command's
+            # LBAs need not be contiguous.
+            lba = blocks[index]
             found = device.read_persistent(lba)
             present.append(found == record.payload[index])
         if any(present) and not all(present):

@@ -16,6 +16,7 @@ class PowerCut:
     def __init__(self, at_time):
         self.at_time = at_time
         self.fired = False
+        self.cancelled = False
         self.device_reports = {}
 
 
@@ -30,28 +31,57 @@ class PowerFailureInjector:
     def schedule_cut(self, at_time):
         """Arrange for the power to fail at ``at_time``; the ongoing
         ``sim.run()`` stops at that instant."""
+        if at_time < self.sim.now:
+            raise ValueError(
+                "cut scheduled in the past: at_time=%r < now=%r"
+                % (at_time, self.sim.now))
         cut = PowerCut(at_time)
         self.cuts.append(cut)
 
         def fire(_sim):
+            if cut.cancelled:
+                return
             self.execute_cut(cut)
             raise StopSimulation()
 
-        self.sim.schedule(max(0.0, at_time - self.sim.now), fire)
+        self.sim.schedule(at_time - self.sim.now, fire)
         return cut
 
+    def cancel_pending_cuts(self):
+        """Disarm every scheduled-but-unfired cut; returns the count."""
+        cancelled = 0
+        for cut in self.cuts:
+            if not cut.fired and not cut.cancelled:
+                cut.cancelled = True
+                cancelled += 1
+        return cancelled
+
     def execute_cut(self, cut=None):
-        """Cut power right now (also usable without scheduling)."""
+        """Cut power right now (also usable without scheduling).
+
+        Idempotent per device: a device that is already unpowered (for
+        example from an earlier overlapping cut) is left alone rather
+        than double-failed, and contributes no report.
+        """
         if cut is None:
             cut = PowerCut(self.sim.now)
             self.cuts.append(cut)
         for device in self.devices:
+            if not device.powered:
+                continue
             cut.device_reports[device.name] = device.power_fail()
         cut.fired = True
         return cut
 
     def reboot_all(self):
-        """Restore power everywhere; returns {device: recovery_seconds}."""
+        """Restore power everywhere; returns {device: recovery_seconds}.
+
+        Any still-pending scheduled cut is disarmed first: it described a
+        power event of the epoch that just ended, and letting it fire
+        into the rebooted world would cut power at a time nobody asked
+        about.
+        """
+        self.cancel_pending_cuts()
         return {device.name: device.reboot() for device in self.devices}
 
 

@@ -68,7 +68,14 @@ class FlashArray:
         self.lanes = lanes
         self._lane_resources = [Resource(sim, capacity=1) for _ in range(lanes)]
         self.in_flight = {}
+        # Optional transient-fault oracle (repro.failures.faults); when
+        # absent every operation succeeds and nothing extra is computed.
+        self.fault_model = None
         self.counters = {"programs": 0, "reads": 0, "erases": 0}
+
+    def attach_fault_model(self, fault_model):
+        """Install a :class:`~repro.failures.faults.TransientFaultModel`."""
+        self.fault_model = fault_model
 
     def lane_of_page(self, ppn):
         return self.geometry.block_of_page(ppn) % self.lanes
@@ -77,6 +84,9 @@ class FlashArray:
         return block % self.lanes
 
     # --- operations (generators to run under sim.process or yield from) --
+    # Each operation returns True on success, False when the attached
+    # fault model injected a transient failure (status-register error on
+    # real NAND).  The FTL owns the retry policy.
     def program(self, ppn):
         """Program one NAND page; yields until the program completes."""
         lane = self._lane_resources[self.lane_of_page(ppn)]
@@ -88,8 +98,12 @@ class FlashArray:
             yield self.sim.timeout(self.timing.program)
             self.in_flight.pop(ppn, None)
             self.counters["programs"] += 1
+            if self.fault_model is not None \
+                    and self.fault_model.program_fails(ppn):
+                return False
         finally:
             lane.release()
+        return True
 
     def read(self, ppn, nbytes=None):
         """Read one NAND page (or ``nbytes`` of it)."""
@@ -100,8 +114,12 @@ class FlashArray:
         try:
             yield self.sim.timeout(self.timing.read_time(nbytes))
             self.counters["reads"] += 1
+            if self.fault_model is not None \
+                    and self.fault_model.read_fails(ppn):
+                return False
         finally:
             lane.release()
+        return True
 
     def erase(self, block):
         lane = self._lane_resources[self.lane_of_block(block)]
@@ -109,8 +127,12 @@ class FlashArray:
         try:
             yield self.sim.timeout(self.timing.erase)
             self.counters["erases"] += 1
+            if self.fault_model is not None \
+                    and self.fault_model.erase_fails(block):
+                return False
         finally:
             lane.release()
+        return True
 
     # --- power failure ----------------------------------------------------
     def torn_programs(self):

@@ -26,6 +26,15 @@ class FlashFullError(Exception):
     """Raised when the FTL cannot find a free block even after GC."""
 
 
+#: fallback retry policy when no fault model is attached (it then never
+#: triggers: a fault-free array succeeds on the first attempt).
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_RETRY_BACKOFF = 50e-6
+#: hard cap on program attempts — each retry targets a *fresh* page, so
+#: hitting this means the array is returning garbage systematically.
+PROGRAM_ATTEMPT_CAP = 8
+
+
 class PageMappingFTL:
     """A log-structured, page-mapped FTL over a :class:`FlashArray`."""
 
@@ -83,8 +92,16 @@ class PageMappingFTL:
         # the cut (in event order) belong to a dead epoch and must not
         # commit anything.
         self._epoch = 0
+        # Bad-block management: factory-marked and grown bad blocks are
+        # never allocated again; per-block program-failure tallies decide
+        # when a block graduates from "transient fault" to "grown bad".
+        self._bad_blocks = set()
+        self._program_failures = {}
         self.counters = {"gc_runs": 0, "gc_moved_slots": 0,
-                         "host_slot_writes": 0, "nand_page_writes": 0}
+                         "host_slot_writes": 0, "nand_page_writes": 0,
+                         "program_retries": 0, "read_retries": 0,
+                         "erase_retries": 0, "uncorrectable_reads": 0,
+                         "retired_blocks": 0}
 
     # --- introspection ----------------------------------------------------
     @property
@@ -95,6 +112,27 @@ class PageMappingFTL:
     @property
     def free_blocks(self):
         return self._free_total
+
+    @property
+    def bad_blocks(self):
+        """Retired (factory or grown) blocks, never allocated again."""
+        return frozenset(self._bad_blocks)
+
+    # --- retry policy (from the attached fault model, if any) -------------
+    def _max_retries(self):
+        model = self.array.fault_model
+        return model.config.max_retries if model is not None \
+            else DEFAULT_MAX_RETRIES
+
+    def _retry_backoff(self):
+        model = self.array.fault_model
+        return model.config.retry_backoff if model is not None \
+            else DEFAULT_RETRY_BACKOFF
+
+    def _failures_to_retire(self):
+        model = self.array.fault_model
+        return model.config.program_failures_to_retire if model is not None \
+            else 2
 
     def wear(self):
         """(min, max, total) erase counts across blocks."""
@@ -124,14 +162,29 @@ class PageMappingFTL:
 
     # --- host-visible operations (generators) -----------------------------
     def read_slot(self, lslot):
-        """Read one logical slot; yields for NAND time, returns the value."""
+        """Read one logical slot; yields for NAND time, returns the value.
+
+        Transient read errors are retried with backoff up to the fault
+        model's budget; a read that stays uncorrectable returns TORN —
+        the host-visible shape of an ECC failure.
+        """
         pslot = self._mapping.get(lslot)
         if pslot is None:
             return None
         ppn = pslot // self.slots_per_page
         with self.sim.telemetry.span("flash.read", "flash", lslot=lslot,
-                                     ppn=ppn):
-            yield from self.array.read(ppn, self.mapping_unit)
+                                     ppn=ppn) as span:
+            ok = yield from self.array.read(ppn, self.mapping_unit)
+            attempts = 1
+            while not ok and attempts <= self._max_retries():
+                self.counters["read_retries"] += 1
+                yield self.sim.timeout(self._retry_backoff() * attempts)
+                ok = yield from self.array.read(ppn, self.mapping_unit)
+                attempts += 1
+            if not ok:
+                self.counters["uncorrectable_reads"] += 1
+                span.annotate(uncorrectable=True)
+                return TORN
         return self.stored_value(lslot)
 
     def write_slots(self, items):
@@ -158,19 +211,40 @@ class PageMappingFTL:
 
     def _program_group(self, group):
         epoch = self._epoch
-        ppn = self._allocate_page()
-        block = self.array.geometry.block_of_page(ppn)
-        # Count the incoming slots valid up front so GC never picks the
-        # page mid-program; the commit refines bookkeeping afterwards.
-        self._valid_count[block] += len(group)
-        with self.sim.telemetry.span("flash.program", "flash", ppn=ppn,
-                                     slots=len(group)):
-            yield from self.array.program(ppn)
-        if epoch != self._epoch:
-            # A power cut landed while this page was programming: the
-            # data is shorn and nothing was committed.  Valid counts were
-            # rebuilt from scratch at the cut, so no adjustment here.
-            return
+        attempts = 0
+        while True:
+            ppn = self._allocate_page()
+            block = self.array.geometry.block_of_page(ppn)
+            # Count the incoming slots valid up front so GC never picks
+            # the page mid-program; the commit refines bookkeeping after.
+            self._valid_count[block] += len(group)
+            with self.sim.telemetry.span("flash.program", "flash", ppn=ppn,
+                                         slots=len(group)):
+                ok = yield from self.array.program(ppn)
+            if epoch != self._epoch:
+                # A power cut landed while this page was programming: the
+                # data is shorn and nothing was committed.  Valid counts
+                # were rebuilt from scratch at the cut, so no adjustment.
+                return
+            if ok:
+                break
+            # Program-status failure: the page is wasted, the data is
+            # retried on a fresh page (possibly a fresh block), and the
+            # block is retired once it fails often enough (grown bad).
+            self._valid_count[block] -= len(group)
+            self.counters["program_retries"] += 1
+            failures = self._program_failures.get(block, 0) + 1
+            self._program_failures[block] = failures
+            if failures >= self._failures_to_retire():
+                self.retire_block(block)
+            attempts += 1
+            if attempts >= PROGRAM_ATTEMPT_CAP:
+                from ..failures.faults import FlashFaultError
+                raise FlashFaultError(
+                    "program failed on %d distinct pages" % attempts)
+            yield self.sim.timeout(self._retry_backoff() * attempts)
+            if epoch != self._epoch:
+                return
         for sub, (lslot, value) in enumerate(group):
             pslot = ppn * self.slots_per_page + sub
             self._commit_slot(lslot, pslot, value)
@@ -192,6 +266,32 @@ class PageMappingFTL:
     def _block_of_slot(self, pslot):
         return (pslot // self.slots_per_page //
                 self.array.geometry.pages_per_block)
+
+    # --- bad-block management -----------------------------------------------
+    def retire_block(self, block):
+        """Retire ``block`` (factory-marked or grown bad).
+
+        The block is removed from the free pools and from the active
+        allocation frontier; whatever it already holds stays readable
+        (read-only retirement, as real firmware does) until GC-free space
+        is not needed from it — it is simply never erased or programmed
+        again.
+        """
+        if block in self._bad_blocks:
+            return
+        self._bad_blocks.add(block)
+        self.counters["retired_blocks"] += 1
+        lane = self.array.lane_of_block(block)
+        pool = self._free_by_lane[lane]
+        if block in pool:
+            pool.remove(block)
+            self._free_total -= 1
+            self._block_free[block] = False
+        for active_lane, active in list(self._active.items()):
+            if active[0] == block:
+                del self._active[active_lane]
+        self.sim.telemetry.instant("ftl.retire_block", "flash", block=block,
+                                   grown=block in self._program_failures)
 
     # --- power failure ------------------------------------------------------
     def sever_inflight_programs(self):
@@ -261,10 +361,17 @@ class PageMappingFTL:
             pool = max(self._free_by_lane, key=len)
         if not pool:
             raise FlashFullError("no free NAND blocks")
-        self._free_total -= 1
-        block = pool.popleft()
-        self._block_free[block] = False
-        return block
+        # Belt and braces: retired blocks were already pulled from the
+        # pools, but a block retired while queued elsewhere is skipped.
+        while pool:
+            block = pool.popleft()
+            if block not in self._bad_blocks:
+                self._free_total -= 1
+                self._block_free[block] = False
+                return block
+            self._free_total -= 1
+            self._block_free[block] = False
+        raise FlashFullError("no free NAND blocks outside the bad list")
 
     def _maybe_collect(self):
         low = self.GC_LOW_WATERMARK_PER_LANE * self.array.lanes
@@ -305,7 +412,24 @@ class PageMappingFTL:
                 # Power cut during relocation: the victim must not be
                 # erased, its data may still be the only reachable copy.
                 return None
-            yield from self.array.erase(victim)
+            ok = yield from self.array.erase(victim)
+            attempts = 1
+            while not ok and attempts <= self._max_retries():
+                self.counters["erase_retries"] += 1
+                yield self.sim.timeout(self._retry_backoff() * attempts)
+                if epoch != self._epoch:
+                    return None
+                ok = yield from self.array.erase(victim)
+                attempts += 1
+        if not ok:
+            # Erase failure that retries could not mask: the block is
+            # grown-bad.  Its live data was already relocated, so retire
+            # it instead of returning it to the free pool.
+            self.retire_block(victim)
+            self._valid_count[victim] = 0
+            for pslot in range(start, end):
+                self._contents.pop(pslot, None)
+            return len(live_items)
         for pslot in range(start, end):
             self._contents.pop(pslot, None)
         self._erase_count[victim] += 1
@@ -326,6 +450,8 @@ class PageMappingFTL:
             if block in active_blocks:
                 continue
             if self._block_free[block]:
+                continue
+            if block in self._bad_blocks:
                 continue
             if valid >= max_slots:
                 continue

@@ -327,6 +327,10 @@ class Simulator:
         self._sequence = count()
         self._stopped = False
         self._active_process = None
+        # Determinism fingerprint: two runs of the same seeded world must
+        # process the same number of events in the same order.  Replay
+        # harnesses compare this cheap counter to detect divergence.
+        self.processed_events = 0
         # Probe-sampling hook: armed only when an enabled hub has probes
         # registered, so the common path pays one None check per step.
         self._tick = None
@@ -385,6 +389,7 @@ class Simulator:
             # this observes without adding events or perturbing anything.
             self._tick(when)
         self.now = when
+        self.processed_events += 1
         event._process()
 
     def run(self, until=None):

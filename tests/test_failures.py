@@ -3,6 +3,7 @@
 import pytest
 
 from repro.devices import IORequest, make_durassd, make_hdd, make_ssd_a
+from repro.devices.base import AckRecord
 from repro.failures import (
     PowerFailureInjector,
     check_device,
@@ -11,6 +12,17 @@ from repro.failures import (
     run_until_power_cut,
 )
 from repro.sim import Simulator, units
+
+
+class StableFake:
+    """A 'device' whose post-crash state is just a dict of survivors."""
+
+    def __init__(self, surviving):
+        self.surviving = dict(surviving)
+        self.ack_log = []
+
+    def read_persistent(self, lba):
+        return self.surviving.get(lba)
 
 
 def hammer(sim, device, writes=200, nblocks=1, span=500, seed=3):
@@ -158,3 +170,96 @@ class TestChecker:
         report = check_device(device)
         text = repr(report)
         assert "lost=" in text and "commands=" in text
+
+    def test_scattered_command_fully_present_is_clean(self):
+        """Regression: the torn scan must use record.blocks[index], not
+        lba+index — a vectored command's LBAs are not contiguous.  With
+        the old arithmetic this fully-present command read LBAs 11 and
+        12 (absent) and was falsely flagged torn."""
+        record = AckRecord(time=0.0, lba=10, nblocks=3,
+                           payload=["a", "b", "c"], sequence=0,
+                           blocks=[10, 50, 90])
+        device = StableFake({10: "a", 50: "b", 90: "c"})
+        report = check_device(device, ack_log=[record])
+        assert report.clean, report
+        assert not report.torn_commands
+
+    def test_scattered_command_partial_is_torn(self):
+        record = AckRecord(time=0.0, lba=10, nblocks=3,
+                           payload=["a", "b", "c"], sequence=0,
+                           blocks=[10, 50, 90])
+        device = StableFake({10: "a", 90: "c"})  # middle block lost
+        report = check_device(device, ack_log=[record])
+        assert len(report.torn_commands) == 1
+        assert len(report.lost_writes) == 1
+        assert report.lost_writes[0].lba == 50
+
+    def test_ack_record_blocks_length_validated(self):
+        with pytest.raises(ValueError):
+            AckRecord(time=0.0, lba=0, nblocks=2, payload=["a", "b"],
+                      sequence=0, blocks=[0, 1, 2])
+
+
+class TestWriteOrder:
+    def _record(self, sequence, lba, value):
+        return AckRecord(time=float(sequence), lba=lba, nblocks=1,
+                         payload=[value], sequence=sequence)
+
+    def test_missing_then_present_is_an_inversion(self):
+        """A volatile cache that reorders: the older acked write vanished
+        while a newer one survived — the prefix rule is violated."""
+        log = [self._record(0, 0, "old"), self._record(1, 1, "new")]
+        device = StableFake({1: "new"})  # seq 0 lost, seq 1 present
+        assert check_write_order(device, ack_log=log) == [(0, 1)]
+
+    def test_multi_stream_inversions(self):
+        """Two LBA streams; the overwritten record is skipped (not fully
+        owned) and the inversion pairs the lost write with the later
+        surviving one."""
+        log = [
+            self._record(0, 0, "x"),   # superseded by seq 2: skipped
+            self._record(1, 1, "z"),   # lost
+            self._record(2, 0, "y"),   # survives: inversion vs seq 1
+            self._record(3, 2, "w"),   # survives too: second inversion
+        ]
+        device = StableFake({0: "y", 2: "w"})
+        assert check_write_order(device, ack_log=log) == [(1, 2), (1, 3)]
+
+    def test_ordered_prefix_is_clean(self):
+        log = [self._record(0, 0, "a"), self._record(1, 1, "b"),
+               self._record(2, 2, "c")]
+        device = StableFake({0: "a", 1: "b"})  # clean prefix: tail lost
+        assert check_write_order(device, ack_log=log) == []
+
+
+class TestInjectorHardening:
+    def test_past_cut_raises(self):
+        sim = Simulator()
+        device = make_durassd(sim)
+        injector = PowerFailureInjector(sim, [device])
+        with pytest.raises(ValueError):
+            injector.schedule_cut(-0.001)
+
+    def test_reboot_cancels_pending_cuts(self):
+        sim = Simulator()
+        device = make_durassd(sim)
+        device.record_acks = True
+        process = hammer(sim, device, writes=10)
+        injector = PowerFailureInjector(sim, [device])
+        cut = injector.schedule_cut(5.0)  # far beyond the workload
+        sim.run_until(process)
+        injector.reboot_all()
+        assert cut.cancelled and not cut.fired
+        sim.run()  # the disarmed cut's event fires harmlessly
+        assert device.powered
+        assert not cut.fired
+
+    def test_execute_cut_idempotent_per_device(self):
+        sim = Simulator()
+        device = make_durassd(sim)
+        injector = PowerFailureInjector(sim, [device])
+        first = injector.execute_cut()
+        assert device.name in first.device_reports
+        second = injector.execute_cut()  # device already unpowered
+        assert second.device_reports == {}
+        assert device.recovery_manager.dumps == 1
