@@ -12,6 +12,10 @@ Usage::
 
     python -m repro torture innodb durassd          # crash-point sweep
     python -m repro torture --smoke                 # CI torture gate
+
+    python -m repro chaos --seeds 20                # gray-failure sweeps
+    python -m repro chaos --smoke                   # CI chaos gate
+    python -m repro table1 --gray-faults mild       # benches on a sick device
 """
 
 import sys
@@ -20,8 +24,10 @@ from .bench import (
     ablations,
     atomicity,
     bursts,
+    chaos,
     figure5,
     figure6,
+    setups,
     table1,
     table2,
     table3,
@@ -69,6 +75,14 @@ def main(argv=None):
         return tracing.main(argv[1:])
     if target == "torture":
         return torture.main(argv[1:])
+    if target == "chaos":
+        return chaos.main(argv[1:])
+    if "--gray-faults" in argv:
+        # Run any bench table with gray faults injected into its devices
+        # (and the timeout/abort/retry stack armed to survive them).
+        index = argv.index("--gray-faults")
+        setups.set_gray_faults(argv[index + 1])
+        argv = argv[:index] + argv[index + 2:]
     if target == "all":
         for name in ORDER:
             print("=" * 70)

@@ -1,0 +1,174 @@
+"""Gray-failure chaos sweeps over the device x engine x profile matrix.
+
+Usage::
+
+    python -m repro chaos                          # durassd/innodb, all profiles
+    python -m repro chaos innodb ssd-a --profile gc-storm --seeds 20
+    python -m repro chaos --smoke                  # CI: every preset, quick
+    python -m repro chaos --seeds 20 --out repro.json
+    python -m repro chaos --replay repro.json
+
+Each run replays a seeded LinkBench stream against devices injected with
+a named gray-fault profile (:data:`repro.failures.grayfaults.PROFILES`)
+while the full tolerance stack is armed: host command deadlines with
+abort/soft-reset/retry, plus database admission control and read-only
+demotion.  A run passes when the stream completes (liveness), the
+post-run power-cut recovery checks clean (safety), completion time stays
+inside the profile's degradation bound, and a permanent hang demotes the
+engine to read-only instead of deadlocking.  Failing runs are minimized
+to replayable JSON artifacts with ``--out``.
+"""
+
+import json
+import sys
+import time
+
+from ..failures import chaos as harness
+from ..failures.grayfaults import PROFILES
+from . import setups
+
+DEVICES = ("hdd", "ssd-a", "ssd-b", "durassd")
+
+#: curable profiles every smoke device is swept with
+SMOKE_PROFILES = ("mild", "gc-storm", "pause", "hang")
+
+SMOKE_BASE_OPS = 40
+
+
+def run_profile(engine, device, profile, seed, ops, gray_target="both"):
+    scenario = harness.chaos_scenario(engine=engine, device=device,
+                                      profile=profile, seed=seed, ops=ops,
+                                      gray_target=gray_target)
+    result = harness.run_chaos(scenario)
+    return scenario, result
+
+
+def _print_result(label, result, elapsed):
+    verdict = "PASS" if result.clean else "FAIL"
+    if not result.expected_clean and result.violations:
+        verdict = "FINDS"
+    ratio = ("%.2fx" % result.degradation_ratio
+             if result.degradation_ratio is not None else "-")
+    print("%-32s %-6s ok=%-4d to=%-3d rej=%-3d ro=%-5s slow=%-6s %5.1fs"
+          % (label, verdict, result.ops_ok, result.ops_timed_out,
+             result.ops_rejected, result.read_only, ratio, elapsed))
+    for violation in result.violations:
+        print("    violation: %s" % violation)
+
+
+def smoke(ops=None, seed=11):
+    """Quick chaos pass over every device preset; the CI chaos gate."""
+    ops = ops if ops is not None else setups.ops_scale(SMOKE_BASE_OPS)
+    print("chaos smoke: %d ops per run, seed %d" % (ops, seed))
+    exit_code = 0
+    for device in DEVICES:
+        for profile in SMOKE_PROFILES:
+            begin = time.time()
+            _scenario, result = run_profile("innodb", device, profile,
+                                            seed, ops)
+            _print_result("innodb/%s/%s" % (device, profile), result,
+                          time.time() - begin)
+            if result.failed or not result.completed:
+                exit_code = 1
+        # The terminal case: a permanently hung data device must demote
+        # the engine to read-only — completing the stream with rejected
+        # writes — never deadlock the workload.  Floor the op count so
+        # quick mode still leaves enough writes after the hang instant
+        # to reach the escalation limit.
+        begin = time.time()
+        _scenario, result = run_profile("innodb", device, "hang-permanent",
+                                        seed, max(ops, SMOKE_BASE_OPS),
+                                        gray_target="data")
+        _print_result("innodb/%s/hang-permanent" % device, result,
+                      time.time() - begin)
+        if result.failed or not result.completed or not result.read_only:
+            if not result.read_only:
+                print("    permanent hang did not demote to read-only")
+            exit_code = 1
+    print("chaos smoke: %s" % ("ok" if exit_code == 0 else "FAILED"))
+    return exit_code
+
+
+def sweep_seeds(engine, device, profile, seeds, ops, base_seed=0,
+                out_path=None):
+    """``seeds`` independent runs of one profile; minimize the first
+    failure to a replayable artifact when ``--out`` is given."""
+    exit_code = 0
+    for seed in range(base_seed, base_seed + seeds):
+        begin = time.time()
+        scenario, result = run_profile(engine, device, profile, seed, ops)
+        _print_result("%s/%s/%s seed=%d" % (engine, device, profile, seed),
+                      result, time.time() - begin)
+        if result.failed or not result.completed:
+            exit_code = 1
+            if out_path:
+                ops_list = harness.generate_ops(scenario)
+                artifact = harness.minimize_chaos(
+                    scenario, ops_list,
+                    predicate=lambda r: r.failed or not r.completed)
+                if artifact is None:
+                    print("    minimization found no stable repro")
+                else:
+                    with open(out_path, "w") as handle:
+                        json.dump(artifact, handle, indent=2, sort_keys=True)
+                    print("    minimized repro (%d ops): %s"
+                          % (len(artifact["ops"]), out_path))
+                out_path = None  # keep only the first failure's artifact
+    return exit_code
+
+
+def replay(path):
+    """Re-run a minimized chaos artifact and report its verdict."""
+    with open(path) as handle:
+        artifact = json.load(handle)
+    begin = time.time()
+    result = harness.replay_artifact(artifact)
+    _print_result("replay %s" % path, result, time.time() - begin)
+    print("  recorded violations: %r" % (artifact.get("violations"),))
+    return 1 if (result.failed or not result.completed) else 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("profiles: %s" % ", ".join(sorted(PROFILES)))
+        return 0
+
+    def take_option(name, default=None):
+        if name in argv:
+            index = argv.index(name)
+            value = argv[index + 1]
+            del argv[index:index + 2]
+            return value
+        return default
+
+    smoke_mode = "--smoke" in argv
+    if smoke_mode:
+        argv.remove("--smoke")
+    replay_path = take_option("--replay")
+    ops = take_option("--ops")
+    seed = int(take_option("--seed", "0"))
+    seeds = int(take_option("--seeds", "1"))
+    profile = take_option("--profile")
+    out_path = take_option("--out")
+    if replay_path:
+        return replay(replay_path)
+    if smoke_mode:
+        return smoke(ops=int(ops) if ops else None,
+                     seed=seed if seed else 11)
+    engine = argv[0] if argv else "innodb"
+    device = argv[1] if len(argv) > 1 else "durassd"
+    ops = int(ops) if ops else setups.ops_scale(120)
+    profiles = [profile] if profile else [name for name in sorted(PROFILES)
+                                          if name != "none"]
+    exit_code = 0
+    for name in profiles:
+        code = sweep_seeds(engine, device, name, seeds, ops,
+                           base_seed=seed, out_path=out_path)
+        exit_code = exit_code or code
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

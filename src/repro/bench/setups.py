@@ -7,6 +7,10 @@ policy lives in one place.  Environment knobs:
   (default 256; smaller = closer to the paper, slower).
 * ``REPRO_QUICK``   — set to 1 to cut operation counts ~4x for smoke
   runs of the full benchmark suite.
+* ``set_gray_faults`` (the ``--gray-faults <profile>`` CLI flag) — every
+  device built afterwards carries the named gray-fault profile and every
+  file system arms the command-lifecycle timeout stack, so any bench
+  table can be rerun against a stalling or hanging device.
 """
 
 import os
@@ -15,7 +19,9 @@ from ..db.commercial import CommercialConfig, CommercialEngine
 from ..db.couchstore import CouchstoreConfig, CouchstoreEngine
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
+from ..failures.grayfaults import GrayFaultModel, make_profile
 from ..host import FileSystem
+from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 
 PAPER_DB_BYTES = 100 * units.GIB
@@ -26,6 +32,37 @@ DEVICE_MAKERS = {
     "ssd-b": make_ssd_b,
     "durassd": make_durassd,
 }
+
+
+#: (profile, seed) armed by --gray-faults, or None for healthy devices
+_GRAY_FAULTS = None
+
+#: counter salting successive devices so they stall at different instants
+_GRAY_DEVICE_COUNT = 0
+
+
+def set_gray_faults(profile, seed=0):
+    """Arm gray-fault injection for every subsequently built world.
+
+    ``profile`` is a name from :data:`repro.failures.grayfaults.PROFILES`
+    or ``None``/"none" to disarm.  With faults armed, file systems get a
+    timeout policy so benches degrade instead of deadlocking.
+    """
+    global _GRAY_FAULTS, _GRAY_DEVICE_COUNT
+    _GRAY_DEVICE_COUNT = 0
+    if profile is None or profile == "none":
+        _GRAY_FAULTS = None
+        return
+    make_profile(profile, seed)  # validate the name early
+    _GRAY_FAULTS = (profile, seed)
+
+
+def gray_timeout_policy():
+    """The lifecycle policy benches run with under --gray-faults."""
+    if _GRAY_FAULTS is None:
+        return None
+    _profile, seed = _GRAY_FAULTS
+    return TimeoutPolicy(deadline=0.01, backoff_base=1e-3, seed=seed)
 
 
 def scale_factor():
@@ -55,11 +92,20 @@ def fresh_world(telemetry=None):
 
 
 def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None):
+    global _GRAY_DEVICE_COUNT
     maker = DEVICE_MAKERS[kind]
     if capacity_bytes is None:
-        return maker(sim, cache_enabled=cache_enabled)
-    return maker(sim, cache_enabled=cache_enabled,
-                 capacity_bytes=capacity_bytes)
+        device = maker(sim, cache_enabled=cache_enabled)
+    else:
+        device = maker(sim, cache_enabled=cache_enabled,
+                       capacity_bytes=capacity_bytes)
+    if _GRAY_FAULTS is not None:
+        profile, seed = _GRAY_FAULTS
+        salt = "%s-%d" % (kind, _GRAY_DEVICE_COUNT)
+        _GRAY_DEVICE_COUNT += 1
+        device.inject_gray_faults(
+            GrayFaultModel(make_profile(profile, seed), salt=salt))
+    return device
 
 
 def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
@@ -70,8 +116,11 @@ def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
                               capacity_bytes=int(db_bytes * 2.5))
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4))
-    data_fs = FileSystem(sim, data_device, barriers=barriers)
-    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    policy = gray_timeout_policy()
+    data_fs = FileSystem(sim, data_device, barriers=barriers,
+                         timeout_policy=policy)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        timeout_policy=policy)
     config = InnoDBConfig(page_size=page_size,
                           buffer_pool_bytes=scaled(buffer_gb),
                           doublewrite=doublewrite, **config_overrides)
@@ -87,10 +136,11 @@ def commercial_setup(sim, page_size, barriers, buffer_gb=2,
                               capacity_bytes=int(db_bytes * 2.5))
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4))
+    policy = gray_timeout_policy()
     data_fs = FileSystem(sim, data_device, barriers=barriers,
-                         coalesce_barriers=True)
+                         coalesce_barriers=True, timeout_policy=policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
-                        coalesce_barriers=True)
+                        coalesce_barriers=True, timeout_policy=policy)
     config = CommercialConfig(page_size=page_size,
                               buffer_pool_bytes=scaled(buffer_gb),
                               **config_overrides)
@@ -102,7 +152,8 @@ def couchbase_setup(sim, batch_size, barriers, device_kind="durassd",
                     **config_overrides):
     """The paper's Couchbase world: one drive, XFS."""
     device = make_device(sim, device_kind, capacity_bytes=2 * units.GIB)
-    filesystem = FileSystem(sim, device, barriers=barriers)
+    filesystem = FileSystem(sim, device, barriers=barriers,
+                            timeout_policy=gray_timeout_policy())
     config = CouchstoreConfig(batch_size=batch_size, **config_overrides)
     engine = CouchstoreEngine(sim, filesystem, config)
     return engine, (device,)

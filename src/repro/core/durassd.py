@@ -108,6 +108,14 @@ class DuraSSD(FlashSSD):
             self._staging.pop(id(request), None)
             self.atomic_writer.complete(request)
 
+    def _on_command_abort(self, request):
+        # An aborted command rolls back exactly like an incomplete one at
+        # power-fail time: its half-streamed data never becomes visible,
+        # so the retry is all-or-nothing from the host's point of view.
+        if request.op == WRITE:
+            self._staging.pop(id(request), None)
+            self.atomic_writer.abandon(request)
+
     # --- power failure: dump under capacitor power -------------------------
     def power_fail(self):
         if not self.durable:

@@ -5,6 +5,12 @@ from .commercial import CommercialConfig, CommercialEngine
 from .couchstore import CouchstoreConfig, CouchstoreEngine
 from .buffer_pool import BufferPool, Frame
 from .dbrecovery import RecoveryReport, check_consistency, recover
+from .degrade import (
+    AdmissionBackpressureError,
+    DegradationMonitor,
+    DegradedError,
+    ReadOnlyModeError,
+)
 from .doublewrite import DoubleWriteBuffer
 from .innodb import COMMIT_MARKER, InnoDBConfig, InnoDBEngine, Transaction
 from .pages import TornPageError, page_tokens, try_verify_page, verify_page
@@ -16,6 +22,10 @@ from .wal import LogRecord, WriteAheadLog
 
 __all__ = [
     "AccessResult",
+    "AdmissionBackpressureError",
+    "DegradationMonitor",
+    "DegradedError",
+    "ReadOnlyModeError",
     "CommercialConfig",
     "CommercialEngine",
     "CouchstoreConfig",

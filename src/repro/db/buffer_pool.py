@@ -121,7 +121,14 @@ class BufferPool:
         self._inflight_reads[key] = arrival
         try:
             yield from self._claim_free_frame()
-            version = yield from reader()
+            try:
+                version = yield from reader()
+            except BaseException:
+                # The read failed (device timeout escalation): put the
+                # claimed frame back on the free list or the pool leaks
+                # capacity with every failed read.
+                self._free += 1
+                raise
             frame = Frame(key, version)
             self._frames[key] = frame
             return frame

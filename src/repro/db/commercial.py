@@ -45,9 +45,11 @@ class CommercialEngine(InnoDBEngine):
         self.pagestore.space(name).handle.o_dsync = True
         return table
 
-    def _flush_entries(self, entries):
+    def _flush_entries_inner(self, entries):
         """Every page write carries its own barrier via O_DSYNC, so the
-        explicit per-batch fsync of the InnoDB path is redundant here."""
+        explicit per-batch fsync of the InnoDB path is redundant here.
+        (Overrides the inner hook: escalation recording stays in the
+        inherited ``_flush_entries`` wrapper.)"""
         newest = max((self._newest_lsn.get((space, page), 0)
                       for space, page, _version in entries), default=0)
         if newest:

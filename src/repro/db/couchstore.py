@@ -15,9 +15,11 @@ device without barriers the "durable" header may itself be a lie — the
 anomaly DuraSSD removes.
 """
 
+from ..host.lifecycle import DeviceTimeoutError
 from ..sim import units
 from ..sim.resources import Mutex
 from .btree import PagedBTree
+from .degrade import DegradationMonitor
 
 
 class CouchstoreConfig:
@@ -77,6 +79,8 @@ class CouchstoreEngine:
         self.counters = {"updates": 0, "reads": 0, "commits": 0,
                          "blocks_appended": 0, "cache_hits": 0,
                          "cache_misses": 0}
+        self.degradation = DegradationMonitor(sim, name="couchstore-%s"
+                                              % name)
 
     # --- operations (generators) ------------------------------------------------
     def update(self, key, rng):
@@ -84,6 +88,7 @@ class CouchstoreEngine:
 
         Returns the update's sequence number.
         """
+        self.degradation.check_writable()
         yield self.sim.timeout(self.config.cpu_per_operation)
         yield self._write_mutex.acquire()
         try:
@@ -92,7 +97,11 @@ class CouchstoreEngine:
             blocks = self.config.update_blocks
             tokens = [("couch", key, sequence, index)
                       for index in range(blocks)]
-            yield from self._append_wrapping(tokens)
+            try:
+                yield from self._append_wrapping(tokens)
+            except DeviceTimeoutError as error:
+                self.degradation.record_escalation(error)
+                raise
             self.counters["updates"] += 1
             self.counters["blocks_appended"] += blocks
             self.latest[key] = sequence
@@ -135,10 +144,19 @@ class CouchstoreEngine:
         relaxed commit rather than the belt-and-braces double fsync.
         """
         yield self.sim.timeout(self.config.commit_cpu)
-        header_token = [("couch-header", self._sequence)]
-        offset = yield from self.filesystem.append(self.handle, header_token)
-        self._headers.append((self.handle.lba_of(offset), self._sequence))
-        yield from self.filesystem.fsync(self.handle)
+        try:
+            header_token = [("couch-header", self._sequence)]
+            offset = yield from self.filesystem.append(self.handle,
+                                                       header_token)
+            self._headers.append((self.handle.lba_of(offset),
+                                  self._sequence))
+            yield from self.filesystem.fsync(self.handle)
+        except DeviceTimeoutError as error:
+            # The commit never became durable and was never acked:
+            # acked_commit_seq stays behind, so the lost-update oracle
+            # remains truthful.  Repeated escalation demotes the bucket.
+            self.degradation.record_escalation(error)
+            raise
         self._committed_seq = self._sequence
         self.acked_commit_seq = self._sequence
         self._uncommitted = 0

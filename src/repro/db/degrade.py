@@ -1,0 +1,96 @@
+"""Graceful degradation for database engines over gray-failing devices.
+
+The host command lifecycle (:mod:`repro.host.lifecycle`) turns a hung
+or stalling device into a bounded failure: after the retry budget is
+exhausted a command raises
+:class:`~repro.host.lifecycle.DeviceTimeoutError`.  This module decides
+what the *database* does with that signal:
+
+* **Admission control** (:meth:`InnoDBEngine._admit_write`) pushes back
+  on new writes while the dirty-page or WAL-append queues are over
+  their bounds, failing with :class:`AdmissionBackpressureError` after a
+  bounded wait instead of letting work pile up behind a sick device.
+* **Escalation accounting** — every timeout escalation the engine
+  observes (commit flush, page flush, background cleaner, forced
+  checkpoint) is recorded here.
+* **One-way demotion to read-only** — after ``escalation_limit``
+  escalations the engine stops admitting writes permanently
+  (:class:`ReadOnlyModeError`); the alternative is a lock convoy behind
+  a device that will never answer, which is a deadlock from the
+  client's point of view.  Reads keep being attempted: a degraded
+  database still serves what it can.
+
+Demotion never un-happens within a run (operators re-enable writes
+after replacing the device); that makes the state machine monotone and
+trivially race-free under the simulator's cooperative scheduling.
+"""
+
+
+class DegradedError(Exception):
+    """Base class: the engine refused work to protect itself."""
+
+
+class ReadOnlyModeError(DegradedError):
+    """The engine demoted itself to read-only after repeated escalations."""
+
+    def __init__(self, name, escalations):
+        super().__init__("%s is read-only after %d timeout escalations"
+                         % (name, escalations))
+        self.name = name
+        self.escalations = escalations
+
+
+class AdmissionBackpressureError(DegradedError):
+    """A write was rejected because internal queues stayed over bound."""
+
+    def __init__(self, name, reason):
+        super().__init__("%s rejected a write: %s" % (name, reason))
+        self.name = name
+        self.reason = reason
+
+
+class DegradationMonitor:
+    """Escalation ledger plus the one-way read-only switch for one engine."""
+
+    #: consecutive-run escalation budget before demotion
+    DEFAULT_ESCALATION_LIMIT = 3
+
+    def __init__(self, sim, name="engine",
+                 escalation_limit=DEFAULT_ESCALATION_LIMIT):
+        if escalation_limit < 1:
+            raise ValueError("escalation_limit must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.escalation_limit = escalation_limit
+        self.read_only = False
+        self.demoted_at = None
+        self.counters = {"escalations": 0, "write_rejects": 0,
+                         "admission_rejects": 0, "admission_waits": 0}
+
+    def record_escalation(self, error):
+        """Note one :class:`DeviceTimeoutError`; demote at the limit.
+
+        Idempotent per error instance: an escalation inside a nested
+        flush (an eviction under a page read under a write) passes
+        through several recording points on its way up, but counts once.
+        """
+        if getattr(error, "_degrade_recorded", False):
+            return
+        error._degrade_recorded = True
+        self.counters["escalations"] += 1
+        self.sim.telemetry.instant("db.escalation", "db", engine=self.name,
+                                   count=self.counters["escalations"],
+                                   error=str(error))
+        if (not self.read_only
+                and self.counters["escalations"] >= self.escalation_limit):
+            self.read_only = True
+            self.demoted_at = self.sim.now
+            self.sim.telemetry.instant(
+                "db.demote_readonly", "db", engine=self.name,
+                escalations=self.counters["escalations"])
+
+    def check_writable(self):
+        """Raise :class:`ReadOnlyModeError` once demoted; else no-op."""
+        if self.read_only:
+            self.counters["write_rejects"] += 1
+            raise ReadOnlyModeError(self.name, self.counters["escalations"])

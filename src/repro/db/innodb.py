@@ -15,8 +15,10 @@ page cleaner, and the flush-ahead rule (a page never reaches storage
 before its redo records do).
 """
 
+from ..host.lifecycle import DeviceTimeoutError
 from ..sim import units
 from .buffer_pool import BufferPool
+from .degrade import AdmissionBackpressureError, DegradationMonitor
 from .doublewrite import DoubleWriteBuffer
 from .locks import LockManager
 from .pagestore import PageStore
@@ -35,7 +37,11 @@ class InnoDBConfig:
                  cleaner_interval=0.02, cleaner_batch=64,
                  io_capacity=400, miss_cpu_per_kib=22e-6,
                  checkpoint_pressure_limit=0.75,
-                 free_target_fraction=0.01, max_dirty_fraction=0.30):
+                 free_target_fraction=0.01, max_dirty_fraction=0.30,
+                 admission_control=False, admission_dirty_limit=0.85,
+                 admission_wal_bytes=8 * units.MIB,
+                 admission_max_wait=0.25,
+                 escalation_limit=DegradationMonitor.DEFAULT_ESCALATION_LIMIT):
         if page_size % units.LBA_SIZE:
             raise ValueError("page size must be a multiple of 4KiB")
         self.page_size = page_size
@@ -57,6 +63,15 @@ class InnoDBConfig:
         self.checkpoint_pressure_limit = checkpoint_pressure_limit
         self.free_target_fraction = free_target_fraction
         self.max_dirty_fraction = max_dirty_fraction
+        # Graceful degradation (repro.db.degrade): admission control is
+        # off by default — the calibrated benchmarks never queue deep
+        # enough to trip it, and keeping it off preserves their exact
+        # behaviour.  The chaos harness turns it on.
+        self.admission_control = admission_control
+        self.admission_dirty_limit = admission_dirty_limit
+        self.admission_wal_bytes = admission_wal_bytes
+        self.admission_max_wait = admission_max_wait
+        self.escalation_limit = escalation_limit
 
     @property
     def n_frames(self):
@@ -102,6 +117,8 @@ class InnoDBEngine:
         self.commit_log = []
         self.counters = {"single_page_flushes": 0, "cleaner_batches": 0,
                          "pages_flushed": 0, "commits": 0, "aborts": 0}
+        self.degradation = DegradationMonitor(
+            sim, name="innodb", escalation_limit=self.config.escalation_limit)
         self._cleaner_stop = False
         sim.telemetry.add_probe("bp.dirty_pages",
                                 lambda: self.pool.dirty_count, "db")
@@ -170,33 +187,84 @@ class InnoDBEngine:
         txn.pages.clear()
         self.counters["aborts"] += 1
 
+    def _admit_write(self):
+        """Admission control: push back while internal queues are over
+        bound, rejecting after a bounded wait (generator; no-op when
+        ``admission_control`` is off)."""
+        config = self.config
+        if not config.admission_control:
+            return
+
+        def blocked():
+            if self.pool.dirty_fraction() > config.admission_dirty_limit:
+                return "dirty pages over %.0f%%" \
+                    % (config.admission_dirty_limit * 100)
+            if self.wal.buffered_bytes > config.admission_wal_bytes:
+                return "WAL append queue over %d bytes" \
+                    % config.admission_wal_bytes
+            return None
+
+        waited = 0.0
+        reason = blocked()
+        while reason is not None:
+            if waited >= config.admission_max_wait:
+                self.degradation.counters["admission_rejects"] += 1
+                self.sim.telemetry.instant("db.admission_reject", "db",
+                                           reason=reason)
+                raise AdmissionBackpressureError("innodb", reason)
+            self.degradation.counters["admission_waits"] += 1
+            yield self.sim.timeout(config.cleaner_interval)
+            waited += config.cleaner_interval
+            reason = blocked()
+
     def modify_rank(self, txn, table, rank):
         """Update the row at ``rank``: read the path, lock and dirty the
         leaf, append redo."""
-        with self.sim.telemetry.span("txn.modify", "db", txn=txn.txn_id,
-                                     table=table.name, rank=rank):
-            path = table.path_for(rank)
-            for page_no in path[:-1]:
-                yield from self.fetch_page(table.space_id, page_no)
-            leaf_no = path[-1]
-            yield from self._lock_page(txn, (table.space_id, leaf_no))
-            frame = yield from self.fetch_page(table.space_id, leaf_no)
-            version = self.pool.mark_dirty(frame)
-            lsn = self.wal.append(txn.txn_id, table.space_id, leaf_no,
-                                  version)
-            self._newest_lsn[(table.space_id, leaf_no)] = lsn
-            txn.last_lsn = lsn
-            txn.pages[(table.space_id, leaf_no)] = version
-        return version
+        self.degradation.check_writable()
+        yield from self._admit_write()
+        try:
+            with self.sim.telemetry.span("txn.modify", "db", txn=txn.txn_id,
+                                         table=table.name, rank=rank):
+                path = table.path_for(rank)
+                for page_no in path[:-1]:
+                    yield from self.fetch_page(table.space_id, page_no)
+                leaf_no = path[-1]
+                yield from self._lock_page(txn, (table.space_id, leaf_no))
+                frame = yield from self.fetch_page(table.space_id, leaf_no)
+                version = self.pool.mark_dirty(frame)
+                lsn = self.wal.append(txn.txn_id, table.space_id, leaf_no,
+                                      version)
+                self._newest_lsn[(table.space_id, leaf_no)] = lsn
+                txn.last_lsn = lsn
+                txn.pages[(table.space_id, leaf_no)] = version
+            return version
+        except DeviceTimeoutError as error:
+            # A write could not make progress — even when the escalating
+            # command was a page *read-in* on the write's B-tree path.
+            # (record_escalation dedups against any nested recording.)
+            self.degradation.record_escalation(error)
+            raise
 
     def commit(self, txn):
-        """Group-commit the transaction's redo to the log device."""
+        """Group-commit the transaction's redo to the log device.
+
+        A commit whose log flush escalates (:class:`DeviceTimeoutError`)
+        is *not* committed: the commit marker never became durable, the
+        oracle (``commit_log``) is not appended, and the caller must
+        abort the transaction.  The escalation is recorded so repeated
+        failures demote the engine to read-only.
+        """
         with self.sim.telemetry.span("txn.commit", "db", txn=txn.txn_id):
+            self.degradation.check_writable()
             try:
                 lsn = self.wal.append(txn.txn_id, COMMIT_MARKER, None, None,
                                       nbytes=64)
                 txn.last_lsn = lsn
-                yield from self.wal.flush_to(lsn)
+                try:
+                    yield from self.wal.flush_to(lsn)
+                except DeviceTimeoutError as error:
+                    self.degradation.record_escalation(error)
+                    raise
             finally:
                 self._release_locks(txn)
         txn.committed = True
@@ -220,6 +288,17 @@ class InnoDBEngine:
         yield from self._flush_entries(entries)
 
     def _flush_entries(self, entries):
+        try:
+            yield from self._flush_entries_inner(entries)
+        except DeviceTimeoutError as error:
+            # One recording point for every flush path (cleaner, forced
+            # checkpoint, eviction, single-page): the pages stay dirty
+            # and will be retried; repeated escalation demotes the
+            # engine to read-only.
+            self.degradation.record_escalation(error)
+            raise
+
+    def _flush_entries_inner(self, entries):
         with self.sim.telemetry.span("bp.flush_batch", "db",
                                      n=len(entries),
                                      doublewrite=self.doublewrite is not None):
@@ -228,8 +307,15 @@ class InnoDBEngine:
                           for space, page, _version in entries), default=0)
             if newest:
                 yield from self.wal.flush_to(newest)
-            touched = {self.pagestore.space(space).handle
-                       for space, _page, _version in entries}
+            # Dedup in first-touch order, not a set: set iteration over
+            # handles follows id() hashes, which vary run to run and
+            # would make the fsync (and journal-commit) order
+            # nondeterministic.
+            touched = []
+            for space, _page, _version in entries:
+                handle = self.pagestore.space(space).handle
+                if handle not in touched:
+                    touched.append(handle)
             if self.doublewrite is not None:
                 yield from self.doublewrite.flush_pages(entries, touched)
             else:
@@ -256,17 +342,25 @@ class InnoDBEngine:
                          > self.config.max_dirty_fraction)
             log_pressure = (self.wal.checkpoint_pressure()
                             > self.config.checkpoint_pressure_limit)
-            if log_pressure:
-                yield from self._force_checkpoint()
+            try:
+                if log_pressure:
+                    yield from self._force_checkpoint()
+                    continue
+                if not (need_free or too_dirty):
+                    continue
+                victims = self.pool.oldest_dirty(self.config.cleaner_batch)
+                if not victims:
+                    continue
+                entries = [(frame.key[0], frame.key[1], frame.version)
+                           for frame in victims]
+                yield from self._flush_entries(entries)
+            except DeviceTimeoutError:
+                # Already recorded by _flush_entries.  The cleaner must
+                # survive a gray device — nobody waits on this process,
+                # so an uncaught exception would crash the simulation.
+                # Back off before hammering the device again.
+                yield self.sim.timeout(10 * self.config.cleaner_interval)
                 continue
-            if not (need_free or too_dirty):
-                continue
-            victims = self.pool.oldest_dirty(self.config.cleaner_batch)
-            if not victims:
-                continue
-            entries = [(frame.key[0], frame.key[1], frame.version)
-                       for frame in victims]
-            yield from self._flush_entries(entries)
             self.counters["cleaner_batches"] += 1
             if need_free:
                 for frame in victims:
@@ -287,6 +381,10 @@ class InnoDBEngine:
                     break
                 entries = [(frame.key[0], frame.key[1], frame.version)
                            for frame in victims]
+                # Checkpoint-stall protection: a gray device must not
+                # pin the engine inside this loop forever.  The first
+                # escalation aborts the checkpoint attempt; the pages
+                # stay dirty and the cleaner retries after backoff.
                 yield from self._flush_entries(entries)
         self.wal.advance_checkpoint()
         self.counters["forced_checkpoints"] = \

@@ -66,6 +66,11 @@ class WriteAheadLog:
     def used_bytes(self):
         return self._write_cursor_blocks * units.LBA_SIZE
 
+    @property
+    def buffered_bytes(self):
+        """Bytes appended but not yet written out (admission-control gauge)."""
+        return self._buffered_bytes
+
     # --- append ---------------------------------------------------------------
     def append(self, txn_id, space_id, page_no, version,
                nbytes=DEFAULT_RECORD_BYTES):
@@ -115,13 +120,24 @@ class WriteAheadLog:
                 > self.capacity_bytes:
             self._write_cursor_blocks = 0  # circular log wrap
         top_lsn = records[-1].lsn
-        with self.sim.telemetry.span("wal.write_out", "db", lsn=top_lsn,
-                                     records=len(records), nblocks=nblocks):
-            tokens = [("log", top_lsn, index) for index in range(nblocks)]
-            offset = self._write_cursor_blocks * units.LBA_SIZE
-            yield from self.filesystem.pwrite(self.handle, offset, tokens)
-            self._write_cursor_blocks += nblocks
-            yield from self.filesystem.fdatasync(self.handle)
+        try:
+            with self.sim.telemetry.span("wal.write_out", "db", lsn=top_lsn,
+                                         records=len(records),
+                                         nblocks=nblocks):
+                tokens = [("log", top_lsn, index) for index in range(nblocks)]
+                offset = self._write_cursor_blocks * units.LBA_SIZE
+                yield from self.filesystem.pwrite(self.handle, offset, tokens)
+                self._write_cursor_blocks += nblocks
+                yield from self.filesystem.fdatasync(self.handle)
+        except BaseException:
+            # The write escalated (DeviceTimeoutError) or was interrupted.
+            # Put the records back at the head of the buffer: other
+            # committers are still looping in flush_to() on these LSNs,
+            # and dropping the records would leave them spinning forever
+            # against a flushed_lsn that can no longer advance.
+            self._buffer = records + self._buffer
+            self._buffered_bytes += nbytes
+            raise
         self.flushed_lsn = top_lsn
         if self.filesystem.barriers:
             self.barrier_durable_lsn = top_lsn

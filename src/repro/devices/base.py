@@ -11,11 +11,15 @@ This keeps a multi-gigabyte simulated database in a few dicts while
 preserving everything needed to detect lost and torn writes.
 """
 
+import math
+
 from ..sim import units
 from ..sim.resources import Resource
 
 READ = "read"
 WRITE = "write"
+#: in-flight registry sentinel for flush-cache commands (no IORequest)
+FLUSH = "flush"
 
 
 class PowerFailedError(Exception):
@@ -114,8 +118,15 @@ class StorageDevice:
         self.record_acks = False
         self.ack_log = []
         self._ack_sequence = 0
+        # Gray-failure machinery: commands currently being serviced (the
+        # Process running _service/_flush -> its request), an optional
+        # latency-fault oracle, and the single-flight soft-reset gate.
+        self._inflight = {}
+        self.gray_faults = None
+        self._resetting = None
         self.counters = {"reads": 0, "writes": 0, "flushes": 0,
-                         "blocks_read": 0, "blocks_written": 0}
+                         "blocks_read": 0, "blocks_written": 0,
+                         "aborts": 0, "resets": 0}
 
     # --- host interface ----------------------------------------------------
     def submit(self, request):
@@ -129,46 +140,89 @@ class StorageDevice:
     def _service(self, request):
         if not self.powered:
             raise PowerFailedError(self.name)
-        with self.sim.telemetry.span("dev." + request.op, "device",
-                                     device=self.name, lba=request.lba,
-                                     nblocks=request.nblocks):
-            while self._flush_barrier is not None:
-                yield self._flush_barrier
-                if not self.powered:
-                    raise PowerFailedError(self.name)
-            request.submit_time = self.sim.now
-            self._on_command_start(request)
-            yield from self._transfer(request.nbytes)
-            if request.op == WRITE:
-                yield from self._write(request)
-                self.counters["writes"] += 1
-                self.counters["blocks_written"] += request.nblocks
-                self._ack_write(request)
-            else:
-                request.result = yield from self._read(request)
-                self.counters["reads"] += 1
-                self.counters["blocks_read"] += request.nblocks
-            request.complete_time = self.sim.now
-            self._on_command_end(request)
+        process = self.sim.active_process
+        self._inflight[process] = request
+        try:
+            with self.sim.telemetry.span("dev." + request.op, "device",
+                                         device=self.name, lba=request.lba,
+                                         nblocks=request.nblocks):
+                yield from self._entry_gate()
+                yield from self._gray_gate(request.op)
+                request.submit_time = self.sim.now
+                self._on_command_start(request)
+                yield from self._transfer(request.nbytes)
+                if request.op == WRITE:
+                    yield from self._write(request)
+                    self.counters["writes"] += 1
+                    self.counters["blocks_written"] += request.nblocks
+                    self._ack_write(request)
+                else:
+                    request.result = yield from self._read(request)
+                    self.counters["reads"] += 1
+                    self.counters["blocks_read"] += request.nblocks
+                request.complete_time = self.sim.now
+                self._on_command_end(request)
+        finally:
+            self._inflight.pop(process, None)
         return request
 
     def _flush(self):
         if not self.powered:
             raise PowerFailedError(self.name)
-        with self.sim.telemetry.span("dev.flush_cache", "device",
-                                     device=self.name):
-            while self._flush_barrier is not None:
-                yield self._flush_barrier
-                if not self.powered:
-                    raise PowerFailedError(self.name)
-            barrier = self.sim.event()
-            self._flush_barrier = barrier
-            try:
-                self.counters["flushes"] += 1
-                yield from self._do_flush()
-            finally:
-                self._flush_barrier = None
-                barrier.succeed()
+        process = self.sim.active_process
+        self._inflight[process] = FLUSH
+        try:
+            with self.sim.telemetry.span("dev.flush_cache", "device",
+                                         device=self.name):
+                yield from self._entry_gate()
+                yield from self._gray_gate(FLUSH)
+                barrier = self.sim.event()
+                self._flush_barrier = barrier
+                try:
+                    self.counters["flushes"] += 1
+                    yield from self._do_flush()
+                finally:
+                    self._flush_barrier = None
+                    barrier.succeed()
+        finally:
+            self._inflight.pop(process, None)
+
+    def _entry_gate(self):
+        """Hold a fresh command while a reset or a flush barrier is up."""
+        while True:
+            gate = self._resetting if self._resetting is not None \
+                else self._flush_barrier
+            if gate is None:
+                return
+            yield gate
+            if not self.powered:
+                raise PowerFailedError(self.name)
+
+    def _gray_gate(self, op):
+        """Charge the gray-fault oracle's latency at command entry.
+
+        A hung device parks the command on an event that never fires —
+        exactly what a hung command looks like from the host, and the
+        only way out is a host abort (:meth:`abort_command`), which
+        unwinds this wait with ``Interrupted``.
+        """
+        model = self.gray_faults
+        if model is None:
+            return
+        hold = model.hold_remaining(self.sim.now)
+        while hold > 0.0:
+            if hold == math.inf:
+                yield self.sim.event()  # hung: only an abort returns
+                raise PowerFailedError(self.name)  # pragma: no cover
+            yield self.sim.timeout(hold)
+            if not self.powered:
+                raise PowerFailedError(self.name)
+            hold = model.hold_remaining(self.sim.now)
+        delay = model.command_delay(op, self.sim.now)
+        if delay > 0.0:
+            yield self.sim.timeout(delay)
+            if not self.powered:
+                raise PowerFailedError(self.name)
 
     #: Bus occupancy per command beyond the data transfer itself; the
     #: rest of ``command_overhead`` is controller latency that overlaps
@@ -183,13 +237,91 @@ class StorageDevice:
         for queued commands (otherwise a 32-deep NCQ could never exceed
         ~1/command_overhead IOPS, which contradicts Table 2).
         """
-        yield self._link.acquire()
+        yield from self._link.acquire_guarded()
         try:
             yield self.sim.timeout(self.BUS_OVERHEAD +
                                    nbytes / self.link_bandwidth)
         finally:
             self._link.release()
         yield self.sim.timeout(self.command_overhead)
+
+    # --- gray failures: abort and soft reset ---------------------------------
+    #: simulated latency of a host-initiated soft reset (COMRESET +
+    #: firmware re-init); of SATA-link-reset magnitude, i.e. milliseconds
+    RESET_TIME = 5e-3
+
+    def inject_gray_faults(self, model):
+        """Attach a :class:`repro.failures.grayfaults.GrayFaultModel`."""
+        self.gray_faults = model
+
+    @property
+    def inflight_requests(self):
+        """Snapshot of commands currently inside the device."""
+        return list(self._inflight.values())
+
+    def oldest_inflight_age(self):
+        """Age in seconds of the oldest in-flight command (0 if none)."""
+        oldest = None
+        for request in self._inflight.values():
+            submitted = getattr(request, "submit_time", None)
+            if submitted is None:
+                continue
+            oldest = submitted if oldest is None else min(oldest, submitted)
+        return 0.0 if oldest is None else self.sim.now - oldest
+
+    def abort_command(self, process, cause="host-abort"):
+        """Abort one in-flight command by interrupting its service process.
+
+        The command is unwound wherever it is waiting (gray gate, link,
+        flash lanes, cache flow control); it is never acked, and any
+        per-command device state is torn down via ``_on_command_abort``.
+        Returns True if there was a live command to abort.
+        """
+        request = self._inflight.get(process)
+        if request is None or not process.is_alive:
+            return False
+        self.counters["aborts"] += 1
+        if isinstance(request, IORequest):
+            self._on_command_abort(request)
+            self.sim.telemetry.instant("dev.abort", "device",
+                                       device=self.name, op=request.op,
+                                       lba=request.lba, cause=cause)
+        else:
+            self.sim.telemetry.instant("dev.abort", "device",
+                                       device=self.name, op=str(request),
+                                       cause=cause)
+        process.interrupt(cause)
+        return True
+
+    def soft_reset(self):
+        """Host-initiated device soft reset.  Generator (``yield from``).
+
+        Aborts every in-flight command, cures curable gray-fault
+        episodes, waits out the reset latency plus device quiesce (media
+        operations already committed to the backend are allowed to land
+        or drain, so a retried command can never be overtaken by its own
+        aborted predecessor), then re-establishes write-order state via
+        ``_reset_writeorder``.  Single-flight: concurrent resetters join
+        the reset already in progress.
+        """
+        if self._resetting is not None:
+            yield self._resetting
+            return
+        done = self.sim.event()
+        self._resetting = done
+        self.counters["resets"] += 1
+        self.sim.telemetry.instant("dev.reset", "device", device=self.name)
+        try:
+            for process in list(self._inflight):
+                self.abort_command(process, cause="device-reset")
+            if self.gray_faults is not None:
+                self.gray_faults.on_reset(self.sim.now)
+            yield self.sim.timeout(self.RESET_TIME)
+            yield from self._quiesce()
+            self._reset_writeorder()
+        finally:
+            self._resetting = None
+            done.succeed()
 
     def _ack_write(self, request):
         if self.record_acks:
@@ -204,6 +336,29 @@ class StorageDevice:
 
     def _on_command_end(self, request):
         """Called when a command completes and is acked (override)."""
+
+    def _on_command_abort(self, request):
+        """Called when an in-flight command is aborted (override).
+
+        Subclasses discard per-command staging here so an aborted write
+        is all-or-nothing: either it never touched device state, or its
+        partial state is torn down before the host retries.
+        """
+
+    def _quiesce(self):
+        """Wait for backend activity of aborted commands to settle
+        (override).  Part of :meth:`soft_reset`."""
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    def _reset_writeorder(self):
+        """Re-establish write-ordering state after a soft reset (override).
+
+        Aborted commands were never acked, so the surviving ack order is
+        still the order the device actually persisted; subclasses clear
+        any in-flight media bookkeeping that a later power cut could
+        misattribute to a command that no longer exists.
+        """
 
     def _write(self, request):
         raise NotImplementedError

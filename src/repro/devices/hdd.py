@@ -97,7 +97,11 @@ class DiskDrive(StorageDevice):
         block, the classic torn-page failure.
         """
         self._pending_media_ops += 1
-        yield self._actuator.acquire()
+        try:
+            yield from self._actuator.acquire_guarded()
+        except BaseException:
+            self._pending_media_ops -= 1
+            raise
         try:
             position = self._positioning_time()
             if writeback:
@@ -111,7 +115,16 @@ class DiskDrive(StorageDevice):
                     "start": self.sim.now + position,
                     "end": self.sim.now + duration,
                 }
-            yield self.sim.timeout(duration)
+            try:
+                yield self.sim.timeout(duration)
+            except BaseException:
+                # Host abort mid-access: the heads stop before the media
+                # commit, and the in-flight record must not be sheared by
+                # a later power cut against a command that no longer
+                # exists.  (A real power cut freezes the process instead
+                # of unwinding it, so torn-write shearing still works.)
+                self._in_flight_media = None
+                raise
             self._in_flight_media = None
         finally:
             self._actuator.release()

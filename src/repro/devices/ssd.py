@@ -172,6 +172,22 @@ class FlashSSD(StorageDevice):
         self._wake_flusher()
 
     def _write_through(self, request):
+        # The FTL work runs in its own process so a host abort unwinds
+        # the *service* only: FTL/GC invariants never see Interrupted,
+        # and — as on a real device — an aborted command's NAND programs
+        # may still land (unacked; soft_reset quiesces them before any
+        # retry can be overtaken by its aborted predecessor).
+        writer = self.sim.process(self._write_through_nand(request))
+        try:
+            yield writer
+        except BaseException:
+            if writer.is_alive:
+                # Orphaned: observe its eventual outcome so a late FTL
+                # failure cannot crash the simulation unhandled.
+                writer.callbacks.append(lambda event: None)
+            raise
+
+    def _write_through_nand(self, request):
         items = self._slot_items(request)
         yield from self.ftl.write_slots(items)
         # Conventional write-through persists the mapping delta for every
@@ -328,6 +344,21 @@ class FlashSSD(StorageDevice):
                 yield waiter
         yield self.sim.timeout(self.spec.flush_fixed + self.spec.map_persist_flush)
         self.ftl.mark_mapping_persisted()
+
+    # --- gray failures ---------------------------------------------------------
+    def _quiesce(self):
+        """Bounded wait for orphaned NAND programs to land (soft reset).
+
+        A command aborted mid-write-through leaves its programs running
+        in the background; letting them finish before the reset returns
+        guarantees a retried command's program is issued strictly after
+        its aborted predecessor's, so the mapping can never regress to
+        stale data.
+        """
+        for _ in range(8):
+            if not self.array.in_flight:
+                return
+            yield self.sim.timeout(self.spec.program_time)
 
     # --- power failure ----------------------------------------------------------
     def power_fail(self):

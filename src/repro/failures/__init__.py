@@ -7,7 +7,21 @@ from .checker import (
     check_write_order,
     latest_acked_values,
 )
+from .chaos import (
+    ChaosResult,
+    chaos_scenario,
+    make_chaos_artifact,
+    minimize_chaos,
+    run_chaos,
+)
+from .chaos import replay_artifact as replay_chaos_artifact
 from .faults import FaultConfig, FlashFaultError, TransientFaultModel
+from .grayfaults import (
+    PROFILES,
+    GrayFaultModel,
+    GrayFaultProfile,
+    make_profile,
+)
 from .injector import PowerCut, PowerFailureInjector, run_until_power_cut
 from .torture import (
     TortureScenario,
@@ -25,9 +39,13 @@ from .torture import (
 )
 
 __all__ = [
+    "ChaosResult",
     "CheckReport",
     "FaultConfig",
     "FlashFaultError",
+    "GrayFaultModel",
+    "GrayFaultProfile",
+    "PROFILES",
     "PowerCut",
     "PowerFailureInjector",
     "SweepResult",
@@ -36,14 +54,20 @@ __all__ = [
     "TrialResult",
     "Violation",
     "build_world",
+    "chaos_scenario",
     "check_device",
     "check_write_order",
     "generate_ops",
     "latest_acked_values",
     "make_artifact",
+    "make_chaos_artifact",
+    "make_profile",
     "minimize",
+    "minimize_chaos",
     "record",
     "replay_artifact",
+    "replay_chaos_artifact",
+    "run_chaos",
     "run_trial",
     "run_until_power_cut",
     "sweep",

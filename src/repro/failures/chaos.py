@@ -1,0 +1,381 @@
+"""Gray-failure chaos harness: end-to-end degraded-mode verification.
+
+The torture harness answers "does a power cut ever break a promise?";
+this harness answers the same question for *gray* failures — devices
+that stall, pause, storm or hang without ever failing stop
+(:mod:`repro.failures.grayfaults`) — with the full tolerance stack
+armed: host command deadlines, abort/soft-reset/retry
+(:mod:`repro.host.lifecycle`) and database graceful degradation
+(:mod:`repro.db.degrade`).
+
+One chaos run asserts three properties:
+
+1. **Liveness.**  The seeded operation stream completes — possibly with
+   per-operation failures, but never a deadlock.  A watchdog horizon
+   derived from the retry policy converts "stuck forever" into a
+   reported violation instead of a hung simulation.
+2. **Safety.**  After the stream, power is cut and the world recovers;
+   every block-level and transaction-oracle invariant the configuration
+   promises must hold — aborted/retried commands may never corrupt,
+   lose or reorder acked data.
+3. **Bounded degradation.**  Against curable fault profiles the run
+   must finish within ``degradation_bound`` times the fault-free
+   completion time of the identical world.  A permanent hang instead
+   must drive the engine into read-only degraded mode
+   (``expect_read_only``), not into a convoy.
+
+A violating run minimizes to the shortest failing operation prefix and
+round-trips through a self-contained JSON artifact, exactly like the
+torture harness.
+"""
+
+import json
+import math
+
+from ..db import dbrecovery
+from ..db.degrade import DegradedError
+from ..host.lifecycle import DeviceTimeoutError, TimeoutPolicy
+from .checker import check_device, check_write_order
+from .grayfaults import GrayFaultProfile, make_profile
+from .injector import PowerFailureInjector
+from .torture import TortureScenario, build_world, generate_ops
+
+CHAOS_ARTIFACT_FORMAT = "repro.chaos/1"
+
+#: default allowed completion-time inflation vs the fault-free run
+DEFAULT_DEGRADATION_BOUND = 8.0
+
+#: device commands a single database operation may plausibly escalate
+#: (index-path reads, evictions, double writes, log flush, barriers)
+_COMMANDS_PER_OP = 16
+
+
+#: per-command deadline for chaos worlds: ~100x a healthy command on
+#: each preset, but short enough that episode-scale stalls escalate.
+#: The HDD needs headroom for multi-millisecond seeks under load.
+CHAOS_DEADLINES = {"hdd": 0.2, "ssd-a": 0.01, "ssd-b": 0.01,
+                   "durassd": 0.01}
+CHAOS_DEADLINE = 0.01
+
+#: seconds of simulated workload one LinkBench operation roughly takes
+#: on the fast presets — used to rescale profile horizons to the stream
+_SECONDS_PER_OP = 0.75e-3
+
+
+def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
+                   gray_target="both", engine="innodb", barriers=None,
+                   timeout_policy=None, admission_control=True,
+                   horizon=None):
+    """A fully seeded chaos world description (a gray
+    :class:`~repro.failures.torture.TortureScenario`).
+
+    ``profile`` is a name from :data:`repro.failures.grayfaults.PROFILES`
+    or a :class:`GrayFaultProfile`.  Named profiles describe episode
+    densities over a generic horizon; they are rescaled (horizon and
+    hang instant, proportionally) onto this stream's expected duration
+    so the episodes actually intersect the run.  The timeout policy
+    defaults to a sim-scaled deadline seeded from ``seed`` so backoff
+    jitter replays exactly.
+    """
+    if isinstance(profile, str):
+        profile = make_profile(profile, seed)
+        if horizon is None:
+            horizon = max(0.02, ops * _SECONDS_PER_OP)
+        data = profile.to_json()
+        scale = horizon / data["horizon"]
+        data["horizon"] = horizon
+        if data["hang_at"] is not None:
+            data["hang_at"] *= scale
+        profile = GrayFaultProfile(**data)
+    if timeout_policy is None:
+        deadline = CHAOS_DEADLINES.get(device, CHAOS_DEADLINE)
+        timeout_policy = TimeoutPolicy(deadline=deadline,
+                                       backoff_base=1e-3, seed=seed)
+    return TortureScenario(engine=engine, device=device, barriers=barriers,
+                           ops=ops, seed=seed, timeout_policy=timeout_policy,
+                           gray_profile=profile, gray_target=gray_target,
+                           admission_control=admission_control)
+
+
+class ChaosResult:
+    """Outcome of one chaos run: op tallies, counters, verdict."""
+
+    def __init__(self, scenario):
+        self.scenario = scenario
+        self.ops_total = 0
+        self.ops_ok = 0
+        self.ops_timed_out = 0
+        self.ops_rejected = 0
+        self.completed = False
+        self.read_only = False
+        self.duration = 0.0
+        self.baseline_duration = None
+        self.degradation_ratio = None
+        self.expected_clean = True
+        self.violations = []
+        self.host_counters = {}
+        self.gray_counters = {}
+        self.db_counters = {}
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    @property
+    def failed(self):
+        """A violation where the configuration promised none."""
+        return self.expected_clean and bool(self.violations)
+
+    def to_json(self):
+        return {
+            "ops_total": self.ops_total,
+            "ops_ok": self.ops_ok,
+            "ops_timed_out": self.ops_timed_out,
+            "ops_rejected": self.ops_rejected,
+            "completed": self.completed,
+            "read_only": self.read_only,
+            "duration": self.duration,
+            "baseline_duration": self.baseline_duration,
+            "degradation_ratio": self.degradation_ratio,
+            "expected_clean": self.expected_clean,
+            "violations": list(self.violations),
+            "host_counters": self.host_counters,
+            "gray_counters": self.gray_counters,
+            "db_counters": self.db_counters,
+        }
+
+    def __repr__(self):
+        return ("<ChaosResult ok=%d/%d timed_out=%d rejected=%d "
+                "read_only=%r violations=%d>"
+                % (self.ops_ok, self.ops_total, self.ops_timed_out,
+                   self.ops_rejected, self.read_only, len(self.violations)))
+
+
+def _chaos_client(workload, ops, progress, outcomes):
+    """Sequential client that survives per-operation gray failures.
+
+    Timeout escalations and degraded-mode rejections are tolerated and
+    tallied — the client must always make progress to the next
+    operation; any *other* exception is a harness bug and propagates.
+    """
+    for index, (name, node) in enumerate(ops):
+        try:
+            yield from workload._operation(name, node)
+        except DeviceTimeoutError:
+            outcomes["timed_out"] += 1
+        except DegradedError:
+            outcomes["rejected"] += 1
+        else:
+            outcomes["ok"] += 1
+        progress["completed"] = index + 1
+
+
+def _ladder_seconds(policy):
+    """Worst-case seconds one command spends on the full escalation
+    ladder (all deadlines, resets and maximal backoffs)."""
+    backoff = sum(policy.backoff_base * policy.backoff_factor ** k
+                  * (1.0 + policy.jitter)
+                  for k in range(policy.max_attempts - 1))
+    return policy.max_attempts * (policy.deadline + 0.01) + backoff
+
+
+def horizon_guard(scenario, ops):
+    """Watchdog instant: any run still going past this is stuck."""
+    policy = scenario.timeout_policy or TimeoutPolicy()
+    return 10.0 + len(ops) * _COMMANDS_PER_OP * _ladder_seconds(policy)
+
+
+def baseline_duration(scenario, ops, telemetry=None):
+    """Completion time of the identical world with no gray faults.
+
+    The timeout policy stays armed so the comparison isolates the
+    *faults*, not the lifecycle plumbing.
+    """
+    quiet = dict(scenario.to_json())
+    quiet["gray_profile"] = None
+    world = build_world(TortureScenario.from_json(quiet), telemetry)
+    progress = {"completed": 0}
+    outcomes = {"ok": 0, "timed_out": 0, "rejected": 0}
+    done = world.sim.process(
+        _chaos_client(world.workload, ops, progress, outcomes))
+    world.sim.run_until(done)
+    world.engine.stop_cleaner()
+    if outcomes["ok"] != len(ops):
+        raise RuntimeError("fault-free baseline failed operations: %r"
+                           % (outcomes,))
+    return world.sim.now
+
+
+def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
+              crash_check=True, expect_read_only=None):
+    """One chaos run: liveness, then safety, then bounded degradation.
+
+    ``baseline`` is the fault-free completion time (computed on demand
+    when omitted and a bound applies).  ``expect_read_only`` overrides
+    the default expectation (permanent-hang profiles must demote).
+    Returns a :class:`ChaosResult`.
+    """
+    if ops is None:
+        ops = generate_ops(scenario)
+    profile = scenario.gray_profile or GrayFaultProfile()
+    if expect_read_only is None:
+        expect_read_only = bool(profile.hang_at is not None
+                                and profile.hang_permanent)
+    result = ChaosResult(scenario)
+    result.ops_total = len(ops)
+    world = build_world(scenario, telemetry)
+    sim = world.sim
+    result.expected_clean = world.expected_clean
+    progress = {"completed": 0}
+    outcomes = {"ok": 0, "timed_out": 0, "rejected": 0}
+    client = sim.process(
+        _chaos_client(world.workload, ops, progress, outcomes))
+    watchdog = sim.timeout(horizon_guard(scenario, ops))
+    with sim.telemetry.span("chaos.run", "failures",
+                            device=scenario.device,
+                            ops=len(ops)) as span:
+        sim.run_until(sim.any_of([client, watchdog]))
+        world.engine.stop_cleaner()
+        result.ops_ok = outcomes["ok"]
+        result.ops_timed_out = outcomes["timed_out"]
+        result.ops_rejected = outcomes["rejected"]
+        result.completed = client.triggered
+        result.duration = sim.now
+        result.read_only = getattr(world.engine, "degradation",
+                                   None) is not None \
+            and world.engine.degradation.read_only
+        result.host_counters = {
+            "data": dict(world.engine.data_fs.queue.lifecycle.counters),
+            "log": dict(world.engine.log_fs.queue.lifecycle.counters),
+        }
+        result.gray_counters = {
+            role: dict(device.gray_faults.counters)
+            for role, device in (("data", world.data_device),
+                                 ("log", world.log_device))
+            if device.gray_faults is not None
+        }
+        result.db_counters = dict(
+            world.engine.degradation.counters) \
+            if getattr(world.engine, "degradation", None) else {}
+        if not result.completed:
+            # Stuck behind the watchdog: a liveness violation however
+            # the configuration is classified — the whole point of the
+            # tolerance stack is that nothing hangs forever.
+            result.expected_clean = True
+            result.violations.append(
+                "liveness:stuck-at-op-%d" % progress["completed"])
+            span.annotate(stuck=True)
+            return result
+        if expect_read_only and not result.read_only:
+            result.violations.append(
+                "degrade:no-readonly-demotion:escalations=%d"
+                % result.db_counters.get("escalations", -1))
+        # Bounded degradation (curable profiles only; a permanent hang
+        # has no meaningful completion-time bound).
+        bound = profile.degradation_bound
+        if bound is None:
+            bound = DEFAULT_DEGRADATION_BOUND
+        if not profile.quiet and bound != math.inf:
+            if baseline is None:
+                baseline = baseline_duration(scenario, ops, telemetry)
+            result.baseline_duration = baseline
+            result.degradation_ratio = (result.duration / baseline
+                                        if baseline else None)
+            if result.degradation_ratio is not None \
+                    and result.degradation_ratio > bound:
+                result.violations.append(
+                    "degradation:%.2fx>bound-%.2fx"
+                    % (result.degradation_ratio, bound))
+        if crash_check:
+            _crash_and_check(world, result)
+        span.annotate(violations=len(result.violations))
+    return result
+
+
+def _crash_and_check(world, result):
+    """Cut power after the stream, recover, check every invariant.
+
+    This is the safety half: whatever aborts, resets and retries
+    happened mid-run, the acked state must survive a crash exactly as
+    it would have without gray faults.
+    """
+    sim = world.sim
+    injector = PowerFailureInjector(sim, world.devices)
+    injector.execute_cut()
+    injector.reboot_all()
+    for device in world.devices:
+        report = check_device(device)
+        inversions = check_write_order(device)
+        if device.claims_durable_cache:
+            for violation in report.violations:
+                result.violations.append(
+                    "device:%s:%s:lba=%d" % (device.name, violation.kind,
+                                             violation.lba))
+            for missing, present in inversions:
+                result.violations.append(
+                    "device:%s:reorder:%d>%d" % (device.name, missing,
+                                                 present))
+    durable_log = world.log_device.claims_durable_cache
+    report = dbrecovery.recover(world.engine, durable_log)
+    dbrecovery.check_consistency(world.engine, report)
+    for txn_id in report.lost_committed_txns:
+        result.violations.append("db:lost-txn:%s" % (txn_id,))
+    for key in report.torn_unrepairable:
+        result.violations.append("db:torn-page:%s" % (key,))
+    for kind, key, found, want in report.consistency_violations:
+        result.violations.append(
+            "db:%s:%s:found=%s:want=%s" % (kind, key, found, want))
+
+
+def make_chaos_artifact(scenario, ops, result):
+    """A self-contained, replayable description of one chaos failure."""
+    return {
+        "format": CHAOS_ARTIFACT_FORMAT,
+        "scenario": scenario.to_json(),
+        "ops": [[name, node] for name, node in ops],
+        "violations": list(result.violations),
+        "result": result.to_json(),
+    }
+
+
+def replay_artifact(artifact, telemetry=None):
+    """Re-run a minimized chaos repro from its JSON alone."""
+    if isinstance(artifact, (str, bytes)):
+        artifact = json.loads(artifact)
+    if artifact.get("format") != CHAOS_ARTIFACT_FORMAT:
+        raise ValueError("not a chaos artifact: %r"
+                         % (artifact.get("format"),))
+    scenario = TortureScenario.from_json(artifact["scenario"])
+    ops = [(name, node) for name, node in artifact["ops"]]
+    return run_chaos(scenario, ops, telemetry=telemetry)
+
+
+def minimize_chaos(scenario, ops, predicate=None, telemetry=None):
+    """Shrink a violating run to its shortest failing operation prefix.
+
+    Returns a replayable artifact dict, or ``None`` when not even the
+    full stream violates.  ``predicate`` defaults to "any violation".
+    """
+    if predicate is None:
+        predicate = lambda result: not result.clean
+
+    def prefix_violation(length):
+        prefix = ops[:length]
+        result = run_chaos(scenario, prefix, telemetry=telemetry)
+        return result if predicate(result) else None
+
+    full = prefix_violation(len(ops))
+    if full is None:
+        return None
+    low, high = 1, len(ops)
+    best = (len(ops), full)
+    while low < high:
+        middle = (low + high) // 2
+        found = prefix_violation(middle)
+        if found is not None:
+            best = (middle, found)
+            high = middle
+        else:
+            low = middle + 1
+    length, result = best
+    return make_chaos_artifact(scenario, ops[:length], result)

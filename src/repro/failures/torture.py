@@ -39,6 +39,7 @@ from ..db.commercial import CommercialConfig, CommercialEngine
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
 from ..host import FileSystem
+from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 from ..sim.rng import make_rng
 from ..workloads.linkbench import (
@@ -49,6 +50,7 @@ from ..workloads.linkbench import (
 )
 from .checker import check_device, check_write_order
 from .faults import FaultConfig, TransientFaultModel
+from .grayfaults import GrayFaultModel, GrayFaultProfile
 from .injector import PowerFailureInjector
 
 ARTIFACT_FORMAT = "repro.torture/1"
@@ -78,7 +80,9 @@ class TortureScenario:
                  doublewrite=True, ops=200, seed=11,
                  db_bytes=2 * units.MIB, page_size=16 * units.KIB,
                  buffer_pool_bytes=None, fault_config=None,
-                 capacitor_health=1.0, workload="linkbench"):
+                 capacitor_health=1.0, workload="linkbench",
+                 timeout_policy=None, gray_profile=None,
+                 gray_target="both", admission_control=False):
         if engine not in _ENGINES:
             raise ValueError("unknown engine: %r" % engine)
         if device not in _DEVICE_MAKERS:
@@ -109,6 +113,21 @@ class TortureScenario:
             raise ValueError("capacitor_health must be in [0, 1]")
         self.capacitor_health = capacitor_health
         self.workload = workload
+        # Gray-failure wiring (repro.failures.grayfaults): all None/off
+        # by default, so classic torture scenarios are untouched.
+        if timeout_policy is not None and not isinstance(timeout_policy,
+                                                         TimeoutPolicy):
+            timeout_policy = TimeoutPolicy(**timeout_policy)
+        self.timeout_policy = timeout_policy
+        if gray_profile is not None and not isinstance(gray_profile,
+                                                       GrayFaultProfile):
+            gray_profile = GrayFaultProfile(**gray_profile)
+        self.gray_profile = gray_profile
+        if gray_target not in ("both", "data", "log"):
+            raise ValueError("gray_target must be both, data or log: %r"
+                             % (gray_target,))
+        self.gray_target = gray_target
+        self.admission_control = admission_control
 
     def to_json(self):
         return {
@@ -125,6 +144,12 @@ class TortureScenario:
                              if self.fault_config else None),
             "capacitor_health": self.capacitor_health,
             "workload": self.workload,
+            "timeout_policy": (self.timeout_policy.to_json()
+                               if self.timeout_policy else None),
+            "gray_profile": (self.gray_profile.to_json()
+                             if self.gray_profile else None),
+            "gray_target": self.gray_target,
+            "admission_control": self.admission_control,
         }
 
     @classmethod
@@ -168,11 +193,20 @@ def build_world(scenario, telemetry=None):
         if scenario.capacitor_health < 1.0 and \
                 hasattr(device, "set_capacitor_health"):
             device.set_capacitor_health(scenario.capacitor_health)
+    if scenario.gray_profile is not None:
+        if scenario.gray_target in ("both", "data"):
+            data_device.inject_gray_faults(
+                GrayFaultModel(scenario.gray_profile, salt="data"))
+        if scenario.gray_target in ("both", "log"):
+            log_device.inject_gray_faults(
+                GrayFaultModel(scenario.gray_profile, salt="log"))
     all_durable = all(device.claims_durable_cache for device in devices)
     barriers = (not all_durable) if scenario.barriers is None \
         else scenario.barriers
-    data_fs = FileSystem(sim, data_device, barriers=barriers)
-    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    data_fs = FileSystem(sim, data_device, barriers=barriers,
+                         timeout_policy=scenario.timeout_policy)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        timeout_policy=scenario.timeout_policy)
     # Keep the WAL ring well inside the shrunken log device.
     log_ring = min(192 * units.MIB, log_capacity // 4)
     if scenario.engine == "commercial":
@@ -184,7 +218,8 @@ def build_world(scenario, telemetry=None):
         config = InnoDBConfig(page_size=scenario.page_size,
                               buffer_pool_bytes=scenario.buffer_pool_bytes,
                               doublewrite=scenario.doublewrite,
-                              log_capacity_bytes=log_ring)
+                              log_capacity_bytes=log_ring,
+                              admission_control=scenario.admission_control)
         engine = InnoDBEngine(sim, data_fs, log_fs, config)
     for device in devices:
         device.record_acks = True

@@ -90,12 +90,20 @@ class FlashArray:
     def program(self, ppn):
         """Program one NAND page; yields until the program completes."""
         lane = self._lane_resources[self.lane_of_page(ppn)]
-        yield lane.acquire()
+        yield from lane.acquire_guarded()
         try:
             record = InFlightProgram(ppn, self.sim.now,
                                      self.sim.now + self.timing.program)
             self.in_flight[ppn] = record
-            yield self.sim.timeout(self.timing.program)
+            try:
+                yield self.sim.timeout(self.timing.program)
+            except BaseException:
+                # Aborted mid-program: drop the in-flight record so a
+                # later power cut cannot misattribute the tear.  (A real
+                # power cut freezes the process instead of unwinding it,
+                # so torn-program detection still sees the record.)
+                self.in_flight.pop(ppn, None)
+                raise
             self.in_flight.pop(ppn, None)
             self.counters["programs"] += 1
             if self.fault_model is not None \
@@ -110,7 +118,7 @@ class FlashArray:
         if nbytes is None:
             nbytes = self.geometry.page_size
         lane = self._lane_resources[self.lane_of_page(ppn)]
-        yield lane.acquire()
+        yield from lane.acquire_guarded()
         try:
             yield self.sim.timeout(self.timing.read_time(nbytes))
             self.counters["reads"] += 1
@@ -123,7 +131,7 @@ class FlashArray:
 
     def erase(self, block):
         lane = self._lane_resources[self.lane_of_block(block)]
-        yield lane.acquire()
+        yield from lane.acquire_guarded()
         try:
             yield self.sim.timeout(self.timing.erase)
             self.counters["erases"] += 1

@@ -2,14 +2,18 @@
 
 from .filesystem import FSYNC_SYSCALL_TIME, FileHandle, FileSystem
 from .fio import FioJob, FioResult, run_fio
+from .lifecycle import CommandLifecycle, DeviceTimeoutError, TimeoutPolicy
 from .ncq import CommandQueue
 from .trace import IOTracer, render_latency_histogram
 
 __all__ = [
+    "CommandLifecycle",
     "CommandQueue",
+    "DeviceTimeoutError",
     "FSYNC_SYSCALL_TIME",
     "FileHandle",
     "FileSystem",
+    "TimeoutPolicy",
     "FioJob",
     "FioResult",
     "IOTracer",

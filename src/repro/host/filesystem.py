@@ -54,7 +54,8 @@ class FileSystem:
     JOURNAL_BLOCKS = 64
 
     def __init__(self, sim, device, barriers=True, queue_depth=32,
-                 ordered_queue=True, coalesce_barriers=False, rng=None):
+                 ordered_queue=True, coalesce_barriers=False, rng=None,
+                 timeout_policy=None):
         self.sim = sim
         self.device = device
         self.barriers = barriers
@@ -64,7 +65,8 @@ class FileSystem:
         # effectively serialises, so this defaults off.
         self.coalesce_barriers = coalesce_barriers
         self.queue = CommandQueue(sim, device, depth=queue_depth,
-                                  ordered=ordered_queue, rng=rng)
+                                  ordered=ordered_queue, rng=rng,
+                                  timeout_policy=timeout_policy)
         self._files = {}
         self._alloc_cursor = 0
         total = device.exported_lbas
@@ -207,7 +209,21 @@ class FileSystem:
             while self._barrier_completed < self._barrier_requested:
                 target = self._barrier_requested
                 self.counters["barriers_issued"] += 1
-                yield self.queue.flush()
+                try:
+                    yield self.queue.flush()
+                except Exception as exc:
+                    # The flush escalated (DeviceTimeoutError): deliver
+                    # the failure to the rounds this flush covered
+                    # instead of crashing the shared flusher process.
+                    self._barrier_completed = target
+                    still_waiting = []
+                    for round_no, waiter in self._barrier_waiters:
+                        if round_no <= target:
+                            waiter.fail(exc)
+                        else:
+                            still_waiting.append((round_no, waiter))
+                    self._barrier_waiters = still_waiting
+                    continue
                 self._barrier_completed = target
                 still_waiting = []
                 for round_no, waiter in self._barrier_waiters:

@@ -1,0 +1,186 @@
+"""Host-side command lifecycle: deadline → abort → reset → retry → escalate.
+
+The rest of the stack was built assuming completions always arrive; a
+gray-failing device (``repro.failures.grayfaults``) breaks exactly that
+assumption.  This layer gives every command the lifecycle a real host
+block layer implements (SCSI/ATA error handling):
+
+1. **Deadline.**  Each submitted command races a per-command timer
+   (:class:`repro.sim.engine.AnyOf`).
+2. **Abort.**  On deadline expiry the host aborts the in-flight command
+   (:meth:`StorageDevice.abort_command` — ``Process.interrupt`` under
+   the hood); an aborted command is never acked and rolls back
+   atomically at the device.
+3. **Soft reset.**  The device is soft-reset, curing curable firmware
+   pauses/GC storms and quiescing orphaned media work so a retry can
+   never be overtaken by its aborted predecessor.  Resets are
+   single-flight: concurrent victims join the same reset.
+4. **Retry with backoff.**  Bounded attempts with exponential backoff
+   plus deterministic jitter (seeded, so chaos runs replay exactly).
+5. **Escalation.**  An exhausted retry budget raises
+   :class:`DeviceTimeoutError`; the database layer decides what survives
+   (fail the transaction, demote to read-only — ``repro.db.degrade``).
+
+With ``policy=None`` the lifecycle is pass-through and byte-identical to
+the legacy submit path, so calibrated benchmarks are unperturbed.
+"""
+
+from ..sim.engine import Interrupted
+from ..sim.rng import make_rng
+
+
+class DeviceTimeoutError(Exception):
+    """A command exhausted its retry budget against an unresponsive device."""
+
+    def __init__(self, device, op, attempts):
+        super().__init__("%s: %s command timed out after %d attempts"
+                         % (device, op, attempts))
+        self.device = device
+        self.op = op
+        self.attempts = attempts
+
+
+class TimeoutPolicy:
+    """Per-command deadline and bounded-retry parameters.
+
+    ``deadline`` is generous relative to device service times (a flash
+    program is ~1.3ms, a flush a few ms): ordinary queueing must never
+    trip it, only genuine gray failures.  JSON-serializable so chaos
+    artifacts capture the exact policy they ran under.
+    """
+
+    def __init__(self, deadline=0.25, max_attempts=5, backoff_base=2e-3,
+                 backoff_factor=2.0, jitter=0.5, seed=0):
+        if deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.deadline = deadline
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.seed = seed
+
+    def backoff(self, attempt, rng):
+        """Exponential backoff for retry number ``attempt`` (1-based)."""
+        base = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        return base * (1.0 + self.jitter * rng.random())
+
+    def to_json(self):
+        return {
+            "deadline": self.deadline,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(**data)
+
+
+class CommandLifecycle:
+    """Drives commands against one device under a :class:`TimeoutPolicy`.
+
+    Lives inside the NCQ dispatch process (``yield from
+    lifecycle.execute(request)``), so the queue's depth accounting is
+    untouched by aborts and resets: the slot stays held across retries
+    and is released exactly once however the command ends.
+    """
+
+    COUNTER_KEYS = ("timeouts", "aborts", "resets", "retries",
+                    "escalations", "swept")
+
+    def __init__(self, sim, device, policy=None):
+        self.sim = sim
+        self.device = device
+        self.policy = policy
+        self._rng = make_rng(("lifecycle", policy.seed if policy else 0,
+                              device.name))
+        self.counters = dict.fromkeys(self.COUNTER_KEYS, 0)
+        if policy is not None:
+            telemetry = sim.telemetry
+            for key in self.COUNTER_KEYS:
+                telemetry.add_probe("host.%s" % key,
+                                    lambda key=key: self.counters[key],
+                                    "host")
+            telemetry.add_probe("host.inflight_age_max",
+                                device.oldest_inflight_age, "host")
+
+    def execute(self, request):
+        """Run one I/O command through the full lifecycle (generator)."""
+        if self.policy is None:
+            completed = yield self.device.submit(request)
+            return completed
+        return (yield from self._run(
+            lambda: self.device.submit(request), request.op, request.lba))
+
+    def execute_flush(self):
+        """Run one flush-cache command through the lifecycle (generator)."""
+        if self.policy is None:
+            result = yield self.device.flush_cache()
+            return result
+        return (yield from self._run(self.device.flush_cache, "flush", None))
+
+    # --- the escalation ladder -------------------------------------------
+    def _run(self, start, op, lba):
+        policy = self.policy
+        attempt = 0
+        while True:
+            attempt += 1
+            service = start()
+            timer = self.sim.timeout(policy.deadline)
+            timed_out = False
+            try:
+                index, value = yield self.sim.any_of([service, timer])
+            except Interrupted as exc:
+                if not (service.triggered and service.value is exc):
+                    # This dispatch process itself was interrupted (host
+                    # cancel): unwind, do not retry.
+                    raise
+                # Aborted underneath us: a reset initiated by another
+                # command's lifecycle swept this one along.  The reset is
+                # already happening — join it and retry without our own.
+                self.counters["swept"] += 1
+                yield from self._join_reset()
+            else:
+                if index == 0:
+                    return value
+                timed_out = True
+            if timed_out:
+                if service.triggered and service.ok:
+                    # Completed at the very deadline instant, after the
+                    # timer: not a timeout, take the result.
+                    return service.value
+                self.counters["timeouts"] += 1
+                self.sim.telemetry.instant("host.timeout", "host",
+                                           device=self.device.name, op=op,
+                                           lba=lba, attempt=attempt)
+                if self.device.abort_command(service, cause="deadline"):
+                    self.counters["aborts"] += 1
+                self.counters["resets"] += 1
+                yield from self.device.soft_reset()
+                if service.triggered and service.ok:
+                    # The completion raced the abort and won.
+                    return service.value
+            if attempt >= policy.max_attempts:
+                self.counters["escalations"] += 1
+                self.sim.telemetry.instant("host.escalate", "host",
+                                           device=self.device.name, op=op,
+                                           lba=lba, attempts=attempt)
+                raise DeviceTimeoutError(self.device.name, op, attempt)
+            yield self.sim.timeout(policy.backoff(attempt, self._rng))
+            self.counters["retries"] += 1
+
+    def _join_reset(self):
+        """Wait out a reset another lifecycle is driving, if any."""
+        gate = self.device._resetting
+        if gate is not None:
+            yield gate

@@ -12,6 +12,7 @@ orderings on volatile devices after a power cut.
 """
 
 from ..sim.resources import Resource
+from .lifecycle import CommandLifecycle
 
 
 class CommandQueue:
@@ -20,7 +21,7 @@ class CommandQueue:
     DEPTH = 32
 
     def __init__(self, sim, device, depth=DEPTH, ordered=True,
-                 reorder_window=8, rng=None):
+                 reorder_window=8, rng=None, timeout_policy=None):
         if depth < 1:
             raise ValueError("queue depth must be >= 1")
         self.sim = sim
@@ -32,6 +33,7 @@ class CommandQueue:
         self._slots = Resource(sim, capacity=depth)
         self._backlog = []
         self.max_observed_depth = 0
+        self.lifecycle = CommandLifecycle(sim, device, timeout_policy)
         sim.telemetry.add_probe("ncq.depth",
                                 lambda: self._slots.in_use, "host")
 
@@ -53,16 +55,18 @@ class CommandQueue:
                 jitter = self._rng.random() * self.device.command_overhead \
                     * self.reorder_window
                 yield self.sim.timeout(jitter)
-            yield self._slots.acquire()
+            yield from self._slots.acquire_guarded()
             self.max_observed_depth = max(self.max_observed_depth,
                                           self._slots.in_use)
             span.annotate(depth=self._slots.in_use)
             try:
-                completed = yield self.device.submit(request)
+                completed = yield from self.lifecycle.execute(request)
             finally:
                 self._slots.release()
         return completed
 
     def flush(self):
         """Pass the flush-cache command through to the device."""
-        return self.device.flush_cache()
+        if self.lifecycle.policy is None:
+            return self.device.flush_cache()
+        return self.sim.process(self.lifecycle.execute_flush())

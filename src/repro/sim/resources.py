@@ -58,6 +58,42 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, event):
+        """Withdraw an acquire request, or release it if already granted.
+
+        A process interrupted while waiting on :meth:`acquire` leaves its
+        event queued; a later :meth:`release` would hand the unit to that
+        dead waiter and leak it forever.  ``cancel`` makes an abandoned
+        acquire safe either way: a still-queued request is simply removed,
+        a granted one is released back.
+        """
+        if event.triggered:
+            self.release()
+        else:
+            try:
+                self._waiters.remove(event)
+            except ValueError:
+                pass
+
+    def acquire_guarded(self):
+        """Generator: acquire a unit, withdrawing the request on interrupt.
+
+        Use with ``yield from`` inside a process that may be interrupted
+        (aborted commands, device resets) while queued for the resource::
+
+            yield from resource.acquire_guarded()
+            try:
+                ...
+            finally:
+                resource.release()
+        """
+        grant = self.acquire()
+        try:
+            yield grant
+        except BaseException:
+            self.cancel(grant)
+            raise
+
 
 class Mutex(Resource):
     """A Resource of capacity one."""

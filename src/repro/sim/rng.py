@@ -11,10 +11,16 @@ import random
 
 
 def make_rng(seed):
-    """A fresh deterministic generator for any hashable seed."""
+    """A fresh deterministic generator for any hashable seed.
+
+    Composite seeds (tuples of primitives) are keyed by their ``repr``,
+    not ``hash()``: string hashing is randomized per process
+    (PYTHONHASHSEED), and replayable failure artifacts require the same
+    seed to produce the same stream in *every* process.
+    """
     if isinstance(seed, (int, float, str, bytes, bytearray)) or seed is None:
         return random.Random(seed)
-    return random.Random(hash(seed))
+    return random.Random(repr(seed))
 
 
 def derive(rng):

@@ -176,20 +176,35 @@ class LinkBenchWorkload:
         elif name == "GET_NODE":  # pragma: no cover - exhaustiveness
             yield from engine.read_rank(self.node_table, node_rank)
         elif name in ("ADD_NODE", "UPDATE_NODE", "DELETE_NODE"):
-            txn = engine.begin()
-            yield from engine.modify_rank(txn, self.node_table, node_rank)
-            yield from engine.commit(txn)
+            yield from self._write_txn(
+                [(self.node_table, node_rank)])
         elif name == "UPDATE_LINK":
-            txn = engine.begin()
-            yield from engine.modify_rank(txn, self.link_table, link_rank)
-            yield from engine.commit(txn)
+            yield from self._write_txn(
+                [(self.link_table, link_rank)])
         elif name in ("ADD_LINK", "DELETE_LINK"):
-            txn = engine.begin()
-            yield from engine.modify_rank(txn, self.link_table, link_rank)
-            yield from engine.modify_rank(txn, self.count_table, count_rank)
-            yield from engine.commit(txn)
+            yield from self._write_txn(
+                [(self.link_table, link_rank),
+                 (self.count_table, count_rank)])
         else:
             raise ValueError("unknown operation: %r" % name)
+
+    def _write_txn(self, modifications):
+        """One write transaction; aborted (locks released) on any failure.
+
+        Without the abort, a modify or commit failing mid-transaction —
+        a deadlock victim, a device timeout escalation, a read-only
+        rejection — would leak its page locks and convoy every later
+        writer of those pages behind a transaction that no longer exists.
+        """
+        engine = self.engine
+        txn = engine.begin()
+        try:
+            for table, rank in modifications:
+                yield from engine.modify_rank(txn, table, rank)
+            yield from engine.commit(txn)
+        except BaseException:
+            engine.abort(txn)
+            raise
 
     def _pages_touched(self, name):
         """Approximate page touches, for the CPU cost model."""

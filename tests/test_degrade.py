@@ -1,0 +1,159 @@
+"""Tests for database graceful degradation under gray failures."""
+
+import pytest
+
+from repro.db import (
+    AdmissionBackpressureError,
+    DegradationMonitor,
+    InnoDBConfig,
+    InnoDBEngine,
+    ReadOnlyModeError,
+)
+from repro.db.degrade import DegradedError
+from repro.devices import make_durassd
+from repro.failures.grayfaults import GrayFaultModel, GrayFaultProfile
+from repro.host import FileSystem
+from repro.host.lifecycle import DeviceTimeoutError, TimeoutPolicy
+from repro.sim import units
+
+from conftest import run_process
+
+
+class TestMonitor:
+    def test_demotes_at_limit_one_way(self, sim):
+        monitor = DegradationMonitor(sim, escalation_limit=2)
+        error = DeviceTimeoutError("dev", "write", 3)
+        monitor.record_escalation(error)
+        assert not monitor.read_only
+        monitor.record_escalation(DeviceTimeoutError("dev", "write", 3))
+        assert monitor.read_only
+        # One-way: more escalations never un-demote.
+        monitor.record_escalation(DeviceTimeoutError("dev", "read", 3))
+        assert monitor.read_only
+        assert monitor.counters["escalations"] == 3
+
+    def test_recording_is_idempotent_per_error(self, sim):
+        monitor = DegradationMonitor(sim, escalation_limit=3)
+        error = DeviceTimeoutError("dev", "write", 3)
+        # The same escalation passing several recording points on its
+        # way up the stack (flush -> modify -> client) counts once.
+        monitor.record_escalation(error)
+        monitor.record_escalation(error)
+        monitor.record_escalation(error)
+        assert monitor.counters["escalations"] == 1
+        assert not monitor.read_only
+
+    def test_check_writable(self, sim):
+        monitor = DegradationMonitor(sim, name="eng", escalation_limit=1)
+        monitor.check_writable()  # healthy: no-op
+        monitor.record_escalation(DeviceTimeoutError("dev", "write", 3))
+        with pytest.raises(ReadOnlyModeError) as info:
+            monitor.check_writable()
+        assert info.value.name == "eng"
+        assert monitor.counters["write_rejects"] == 1
+        assert isinstance(info.value, DegradedError)
+
+    def test_limit_validation(self, sim):
+        with pytest.raises(ValueError):
+            DegradationMonitor(sim, escalation_limit=0)
+
+
+def make_engine(sim, gray_profile=None, timeout_policy=None, **config_kw):
+    data_device = make_durassd(sim, capacity_bytes=units.GIB)
+    log_device = make_durassd(sim, capacity_bytes=units.GIB)
+    if gray_profile is not None:
+        data_device.inject_gray_faults(GrayFaultModel(gray_profile,
+                                                      salt="data"))
+    data_fs = FileSystem(sim, data_device, barriers=False,
+                         timeout_policy=timeout_policy)
+    log_fs = FileSystem(sim, log_device, barriers=False,
+                        timeout_policy=timeout_policy)
+    config = InnoDBConfig(page_size=8 * units.KIB,
+                          buffer_pool_bytes=2 * units.MIB, **config_kw)
+    return InnoDBEngine(sim, data_fs, log_fs, config)
+
+
+class TestAdmissionControl:
+    def test_off_by_default(self, sim):
+        engine = make_engine(sim)
+        assert not engine.config.admission_control
+
+    def test_rejects_when_wal_stays_over_bound(self, sim):
+        # A WAL bound of zero bytes means any buffered record blocks
+        # admission; with nothing draining the buffer inside the wait
+        # window, the write must be rejected, not queued forever.
+        engine = make_engine(sim, admission_control=True,
+                             admission_wal_bytes=0,
+                             admission_max_wait=0.01)
+        table = engine.create_table("t", 10_000, 200)
+
+        def txn_body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)  # buffers redo
+            txn2 = engine.begin()
+            try:
+                yield from engine.modify_rank(txn2, table, 2)
+            finally:
+                engine.abort(txn2)
+                engine.abort(txn)
+
+        with pytest.raises(AdmissionBackpressureError):
+            run_process(sim, txn_body())
+        assert engine.degradation.counters["admission_rejects"] == 1
+        assert engine.degradation.counters["admission_waits"] >= 1
+
+    def test_admits_when_under_bounds(self, sim):
+        engine = make_engine(sim, admission_control=True)
+        table = engine.create_table("t", 10_000, 200)
+
+        def txn_body():
+            txn = engine.begin()
+            yield from engine.modify_rank(txn, table, 1)
+            yield from engine.commit(txn)
+
+        run_process(sim, txn_body())
+        assert engine.degradation.counters["admission_rejects"] == 0
+
+
+class TestReadOnlyDemotion:
+    def test_permanent_hang_demotes_engine(self, sim):
+        # Data device hangs permanently almost immediately; repeated
+        # write escalations must demote the engine to read-only instead
+        # of convoying every transaction behind the dead device.
+        policy = TimeoutPolicy(deadline=2e-3, max_attempts=2,
+                               backoff_base=1e-4, seed=3)
+        engine = make_engine(
+            sim,
+            gray_profile=GrayFaultProfile(hang_at=1e-4,
+                                          hang_permanent=True),
+            timeout_policy=policy,
+            escalation_limit=2)
+        table = engine.create_table("t", 10_000, 200)
+
+        def writer(rank):
+            txn = engine.begin()
+            try:
+                yield from engine.modify_rank(txn, table, rank)
+                yield from engine.commit(txn)
+            except BaseException:
+                engine.abort(txn)
+                raise
+
+        demoted = 0
+        for rank in range(8):
+            try:
+                run_process(sim, writer(rank))
+            except DeviceTimeoutError:
+                pass
+            except ReadOnlyModeError:
+                demoted += 1
+        engine.stop_cleaner()
+        assert engine.degradation.read_only
+        assert demoted >= 1
+        # Rejection is immediate: no device I/O, no lock convoy.
+        assert engine.degradation.counters["write_rejects"] >= 1
+
+    def test_commit_escalation_counts_once(self, sim):
+        monitor_limit = DegradationMonitor.DEFAULT_ESCALATION_LIMIT
+        engine = make_engine(sim)
+        assert engine.degradation.escalation_limit == monitor_limit

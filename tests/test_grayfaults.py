@@ -1,0 +1,121 @@
+"""Unit tests for the gray-failure fault model."""
+
+import math
+
+import pytest
+
+from repro.failures.grayfaults import (
+    GC_STORM,
+    HANG,
+    PAUSE,
+    PROFILES,
+    GrayFaultModel,
+    GrayFaultProfile,
+    make_profile,
+)
+
+
+class TestProfile:
+    def test_json_roundtrip(self):
+        profile = GrayFaultProfile(seed=9, stall_rate=0.1, pause_rate=0.05,
+                                   gc_storm_rate=0.02, queue_full_rate=0.01,
+                                   hang_at=1.25, hang_permanent=True,
+                                   horizon=3.0, degradation_bound=12.0)
+        clone = GrayFaultProfile.from_json(profile.to_json())
+        assert clone.to_json() == profile.to_json()
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            GrayFaultProfile(stall_rate=1.0)
+        with pytest.raises(ValueError):
+            GrayFaultProfile(pause_rate=-0.1)
+        with pytest.raises(ValueError):
+            GrayFaultProfile(horizon=0)
+        with pytest.raises(ValueError):
+            GrayFaultProfile(gc_storm_factor=0.5)
+
+    def test_quiet_detection(self):
+        assert GrayFaultProfile().quiet
+        assert not GrayFaultProfile(stall_rate=0.1).quiet
+        assert not GrayFaultProfile(hang_at=1.0).quiet
+
+    def test_named_profiles_instantiate_and_roundtrip(self):
+        for name in PROFILES:
+            profile = make_profile(name, seed=4)
+            clone = GrayFaultProfile.from_json(profile.to_json())
+            assert clone.to_json() == profile.to_json()
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            make_profile("no-such-profile")
+
+
+class TestModel:
+    def test_expansion_is_deterministic(self):
+        profile = GrayFaultProfile(seed=3, pause_rate=0.1, gc_storm_rate=0.1,
+                                   queue_full_rate=0.1, horizon=1.0)
+        first = GrayFaultModel(profile, salt="x").episodes
+        second = GrayFaultModel(profile, salt="x").episodes
+        assert [(e.kind, e.start, e.end) for e in first] \
+            == [(e.kind, e.start, e.end) for e in second]
+
+    def test_salt_decorrelates_devices(self):
+        profile = GrayFaultProfile(seed=3, pause_rate=0.1, horizon=1.0)
+        data = GrayFaultModel(profile, salt="data").episodes
+        log = GrayFaultModel(profile, salt="log").episodes
+        assert [(e.start, e.end) for e in data] \
+            != [(e.start, e.end) for e in log]
+
+    def test_density_scales_with_horizon(self):
+        # rate * 100 expected episodes regardless of horizon length.
+        for horizon in (0.05, 5.0):
+            profile = GrayFaultProfile(seed=1, pause_rate=0.05,
+                                       horizon=horizon)
+            episodes = GrayFaultModel(profile).episodes
+            assert 1 <= len(episodes) <= 20
+
+    def test_hold_during_pause(self):
+        profile = GrayFaultProfile(seed=1, pause_rate=0.05, horizon=1.0)
+        model = GrayFaultModel(profile)
+        pause = next(e for e in model.episodes if e.kind == PAUSE)
+        middle = (pause.start + pause.end) / 2
+        assert model.hold_remaining(middle) == pytest.approx(
+            pause.end - middle)
+        assert model.hold_remaining(pause.end + 1.0) == 0.0
+
+    def test_hang_holds_forever(self):
+        model = GrayFaultModel(GrayFaultProfile(hang_at=0.5))
+        assert model.hold_remaining(0.4) == 0.0
+        assert model.hold_remaining(0.6) == math.inf
+
+    def test_storm_inflates_command_delay(self):
+        profile = GrayFaultProfile(seed=2, gc_storm_rate=0.05,
+                                   gc_storm_factor=10.0, horizon=1.0)
+        model = GrayFaultModel(profile)
+        storm = next(e for e in model.episodes if e.kind == GC_STORM)
+        delay = model.command_delay("write", (storm.start + storm.end) / 2)
+        assert delay >= (profile.gc_storm_factor - 1.0) * profile.stall_time
+
+    def test_reset_cures_curable_episodes(self):
+        profile = GrayFaultProfile(seed=1, pause_rate=0.05, horizon=1.0)
+        model = GrayFaultModel(profile)
+        pause = next(e for e in model.episodes if e.kind == PAUSE)
+        middle = (pause.start + pause.end) / 2
+        model.on_reset(middle)
+        assert pause.end == middle
+        assert model.hold_remaining(middle) == 0.0
+        assert model.counters["cured_by_reset"] >= 1
+
+    def test_reset_cures_transient_hang(self):
+        model = GrayFaultModel(GrayFaultProfile(hang_at=0.5,
+                                                hang_permanent=False))
+        model.on_reset(0.6)
+        assert model.hold_remaining(0.7) == 0.0
+
+    def test_reset_does_not_cure_permanent_hang(self):
+        model = GrayFaultModel(GrayFaultProfile(hang_at=0.5,
+                                                hang_permanent=True))
+        model.on_reset(0.6)
+        assert model.hold_remaining(0.7) == math.inf
+        hang = next(e for e in model.episodes if e.kind == HANG)
+        assert hang.end == math.inf
