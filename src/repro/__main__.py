@@ -16,6 +16,10 @@ Usage::
     python -m repro chaos --seeds 20                # gray-failure sweeps
     python -m repro chaos --smoke                   # CI chaos gate
     python -m repro table1 --gray-faults mild       # benches on a sick device
+
+    python -m repro scaling                         # stripe-width sweep
+    python -m repro figure5 --devices 4             # any bench, striped data
+    python -m repro table5 --log-device             # dedicated log placement
 """
 
 import sys
@@ -27,6 +31,7 @@ from .bench import (
     chaos,
     figure5,
     figure6,
+    scaling,
     setups,
     table1,
     table2,
@@ -77,12 +82,26 @@ def main(argv=None):
         return torture.main(argv[1:])
     if target == "chaos":
         return chaos.main(argv[1:])
+    if target == "scaling":
+        return scaling.main(argv[1:])
     if "--gray-faults" in argv:
         # Run any bench table with gray faults injected into its devices
         # (and the timeout/abort/retry stack armed to survive them).
         index = argv.index("--gray-faults")
         setups.set_gray_faults(argv[index + 1])
         argv = argv[:index] + argv[index + 2:]
+    if "--devices" in argv or "--log-device" in argv:
+        # Run any bench table on a striped data target and/or with the
+        # log placed on a dedicated device.
+        width = 1
+        if "--devices" in argv:
+            index = argv.index("--devices")
+            width = int(argv[index + 1])
+            argv = argv[:index] + argv[index + 2:]
+        dedicated_log = "--log-device" in argv
+        if dedicated_log:
+            argv = [arg for arg in argv if arg != "--log-device"]
+        setups.set_topology(data_devices=width, dedicated_log=dedicated_log)
     if target == "all":
         for name in ORDER:
             print("=" * 70)

@@ -35,10 +35,11 @@ SMOKE_PROFILES = ("mild", "gc-storm", "pause", "hang")
 SMOKE_BASE_OPS = 40
 
 
-def run_profile(engine, device, profile, seed, ops, gray_target="both"):
+def run_profile(engine, device, profile, seed, ops, gray_target="both",
+                stripe=1):
     scenario = harness.chaos_scenario(engine=engine, device=device,
                                       profile=profile, seed=seed, ops=ops,
-                                      gray_target=gray_target)
+                                      gray_target=gray_target, stripe=stripe)
     result = harness.run_chaos(scenario)
     return scenario, result
 
@@ -85,6 +86,19 @@ def smoke(ops=None, seed=11):
             if not result.read_only:
                 print("    permanent hang did not demote to read-only")
             exit_code = 1
+    # One sick stripe member: gray faults on data member 1 only.  The
+    # stream must still complete (the host retries around the sick
+    # member's timeouts) and the post-run power-cut recovery must check
+    # clean — the healthy members' write-order invariants hold even
+    # while their sibling is misbehaving.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "gc-storm",
+                                    seed, max(ops, SMOKE_BASE_OPS),
+                                    gray_target="data:1", stripe=2)
+    _print_result("innodb/durassd/gc-storm (stripe=2, member 1)", result,
+                  time.time() - begin)
+    if result.failed or not result.completed:
+        exit_code = 1
     print("chaos smoke: %s" % ("ok" if exit_code == 0 else "FAILED"))
     return exit_code
 

@@ -11,6 +11,10 @@ policy lives in one place.  Environment knobs:
   device built afterwards carries the named gray-fault profile and every
   file system arms the command-lifecycle timeout stack, so any bench
   table can be rerun against a stalling or hanging device.
+* ``set_topology`` (the ``--devices N`` / ``--log-device`` CLI flags) —
+  data targets built afterwards stripe over N member devices, and the
+  single-drive Couchbase world moves its append log onto a dedicated
+  device via a placement volume.
 """
 
 import os
@@ -20,7 +24,7 @@ from ..db.couchstore import CouchstoreConfig, CouchstoreEngine
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
 from ..failures.grayfaults import GrayFaultModel, make_profile
-from ..host import FileSystem
+from ..host import FileSystem, PlacementVolume, SingleDevice, StripedVolume
 from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 
@@ -65,6 +69,54 @@ def gray_timeout_policy():
     return TimeoutPolicy(deadline=0.01, backoff_base=1e-3, seed=seed)
 
 
+#: data-target stripe width and dedicated-log placement (set_topology)
+_TOPOLOGY = {"data_devices": 1, "dedicated_log": False}
+
+
+def set_topology(data_devices=1, dedicated_log=False):
+    """Shape every subsequently built world's block topology.
+
+    ``data_devices`` > 1 stripes the data target over that many member
+    devices (RAID-0, per-member queues).  ``dedicated_log`` moves the
+    log of the single-drive Couchbase world onto its own device via a
+    placement volume (the MySQL/commercial worlds already dedicate a
+    log drive).  Width 1 without a dedicated log is the calibrated
+    byte-identical path.
+    """
+    global _TOPOLOGY
+    data_devices = int(data_devices)
+    if data_devices < 1:
+        raise ValueError("data_devices must be >= 1")
+    _TOPOLOGY = {"data_devices": data_devices,
+                 "dedicated_log": bool(dedicated_log)}
+
+
+def topology():
+    return dict(_TOPOLOGY)
+
+
+def make_data_target(sim, device_kind, capacity_bytes, width=None,
+                     timeout_policy=None):
+    """``(target_or_device, member_devices)`` for the data extent.
+
+    Width 1 returns the raw device — :class:`FileSystem` wraps it in a
+    :class:`SingleDevice`, keeping the calibrated path byte-identical.
+    Above that, members named ``<kind>.d<i>`` each carry ``capacity /
+    width`` (rounded up) behind their own queue + lifecycle.
+    """
+    width = _TOPOLOGY["data_devices"] if width is None else width
+    if width <= 1:
+        device = make_device(sim, device_kind, capacity_bytes=capacity_bytes)
+        return device, (device,)
+    member_bytes = -(-int(capacity_bytes) // width)
+    members = tuple(
+        make_device(sim, device_kind, capacity_bytes=member_bytes,
+                    name="%s.d%d" % (device_kind, index))
+        for index in range(width))
+    volume = StripedVolume(sim, members, timeout_policy=timeout_policy)
+    return volume, members
+
+
 def scale_factor():
     return int(os.environ.get("REPRO_SCALE", "256"))
 
@@ -91,14 +143,15 @@ def fresh_world(telemetry=None):
     return Simulator(telemetry)
 
 
-def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None):
+def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None,
+                name=None):
     global _GRAY_DEVICE_COUNT
     maker = DEVICE_MAKERS[kind]
     if capacity_bytes is None:
-        device = maker(sim, cache_enabled=cache_enabled)
+        device = maker(sim, cache_enabled=cache_enabled, name=name)
     else:
         device = maker(sim, cache_enabled=cache_enabled,
-                       capacity_bytes=capacity_bytes)
+                       capacity_bytes=capacity_bytes, name=name)
     if _GRAY_FAULTS is not None:
         profile, seed = _GRAY_FAULTS
         salt = "%s-%d" % (kind, _GRAY_DEVICE_COUNT)
@@ -112,12 +165,12 @@ def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
                 device_kind="durassd", **config_overrides):
     """The paper's MySQL world: two drives, XFS, O_DIRECT."""
     db_bytes = scaled_db_bytes()
-    data_device = make_device(sim, device_kind,
-                              capacity_bytes=int(db_bytes * 2.5))
+    policy = gray_timeout_policy()
+    data_target, data_devices = make_data_target(
+        sim, device_kind, int(db_bytes * 2.5), timeout_policy=policy)
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4))
-    policy = gray_timeout_policy()
-    data_fs = FileSystem(sim, data_device, barriers=barriers,
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
                          timeout_policy=policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
                         timeout_policy=policy)
@@ -125,19 +178,19 @@ def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
                           buffer_pool_bytes=scaled(buffer_gb),
                           doublewrite=doublewrite, **config_overrides)
     engine = InnoDBEngine(sim, data_fs, log_fs, config)
-    return engine, (data_device, log_device)
+    return engine, data_devices + (log_device,)
 
 
 def commercial_setup(sim, page_size, barriers, buffer_gb=2,
                      device_kind="durassd", **config_overrides):
     """The paper's commercial-DBMS world: ext4, O_DSYNC data files."""
     db_bytes = scaled_db_bytes()
-    data_device = make_device(sim, device_kind,
-                              capacity_bytes=int(db_bytes * 2.5))
+    policy = gray_timeout_policy()
+    data_target, data_devices = make_data_target(
+        sim, device_kind, int(db_bytes * 2.5), timeout_policy=policy)
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4))
-    policy = gray_timeout_policy()
-    data_fs = FileSystem(sim, data_device, barriers=barriers,
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
                          coalesce_barriers=True, timeout_policy=policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
                         coalesce_barriers=True, timeout_policy=policy)
@@ -145,15 +198,35 @@ def commercial_setup(sim, page_size, barriers, buffer_gb=2,
                               buffer_pool_bytes=scaled(buffer_gb),
                               **config_overrides)
     engine = CommercialEngine(sim, data_fs, log_fs, config)
-    return engine, (data_device, log_device)
+    return engine, data_devices + (log_device,)
 
 
 def couchbase_setup(sim, batch_size, barriers, device_kind="durassd",
                     **config_overrides):
-    """The paper's Couchbase world: one drive, XFS."""
-    device = make_device(sim, device_kind, capacity_bytes=2 * units.GIB)
-    filesystem = FileSystem(sim, device, barriers=barriers,
-                            timeout_policy=gray_timeout_policy())
+    """The paper's Couchbase world: one drive, XFS.
+
+    Under ``set_topology``, the data extent stripes and/or the append
+    log moves onto a dedicated device behind a placement volume; the
+    default topology is the paper's single drive.
+    """
+    policy = gray_timeout_policy()
+    data_target, devices = make_data_target(sim, device_kind,
+                                            2 * units.GIB,
+                                            timeout_policy=policy)
+    if _TOPOLOGY["dedicated_log"]:
+        if not hasattr(data_target, "flush"):  # raw device at width 1
+            data_target = SingleDevice(sim, data_target,
+                                       timeout_policy=policy)
+        log_device = make_device(sim, device_kind,
+                                 capacity_bytes=units.GIB,
+                                 name="%s.log" % device_kind)
+        devices = devices + (log_device,)
+        data_target = PlacementVolume({
+            "data": data_target,
+            "log": SingleDevice(sim, log_device, timeout_policy=policy),
+        })
+    filesystem = FileSystem(sim, data_target, barriers=barriers,
+                            timeout_policy=policy)
     config = CouchstoreConfig(batch_size=batch_size, **config_overrides)
     engine = CouchstoreEngine(sim, filesystem, config)
-    return engine, (device,)
+    return engine, devices

@@ -28,10 +28,10 @@ SMOKE_BASE_OPS = 40
 
 
 def run_sweep(engine, device, ops, seed=11, barriers=None, doublewrite=True,
-              max_trials=None, nested_stride=5):
+              max_trials=None, nested_stride=5, stripe=1):
     scenario = harness.TortureScenario(engine=engine, device=device,
                                        ops=ops, seed=seed, barriers=barriers,
-                                       doublewrite=doublewrite)
+                                       doublewrite=doublewrite, stripe=stripe)
     result = harness.sweep(scenario, max_trials=max_trials,
                            nested_stride=nested_stride)
     return scenario, result
@@ -60,6 +60,16 @@ def smoke(ops=None, seed=11):
         _print_summary("innodb/%s" % device, result, time.time() - begin)
         if not result.clean:
             exit_code = 1
+    # Striped data target: a power cut must leave every stripe member
+    # mutually consistent — the checker sees one flat LBA space, so any
+    # member that lags an acked barrier shows up as a torn page or a
+    # lost committed write.
+    begin = time.time()
+    _scenario, result = run_sweep("innodb", "durassd", ops, seed=seed,
+                                  stripe=2)
+    _print_summary("innodb/durassd (stripe=2)", result, time.time() - begin)
+    if not result.clean:
+        exit_code = 1
     # Negative control: with barriers off on a volatile cache the sweep
     # MUST surface anomalies, or the detector itself is broken.
     begin = time.time()

@@ -59,7 +59,7 @@ class DuraSSD(FlashSSD):
             "device.capacitor_headroom",
             lambda: (self.capacitors.dump_budget_bytes - MAPPING_DUMP_RESERVE
                      - len(self.cache) * units.LBA_SIZE),
-            "device")
+            "device", device=self.name)
 
     # --- capacitor degradation ---------------------------------------------
     @property

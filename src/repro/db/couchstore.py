@@ -178,7 +178,7 @@ class CouchstoreEngine:
         intact on stable media (append-only recovery).
         """
         for lba_block, sequence in reversed(self._headers):
-            values = self.filesystem.device.persistent_view([lba_block])
+            values = self.filesystem.target.persistent_view([lba_block])
             if values and values[0] == ("couch-header", sequence):
                 return sequence
         return 0

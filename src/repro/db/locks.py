@@ -39,7 +39,12 @@ class LockManager:
     def __init__(self, sim):
         self.sim = sim
         self._locks = {}
-        self._held = {}        # txn_id -> set of keys
+        # txn_id -> {key: None} in acquisition order.  An insertion-
+        # ordered dict, not a set: release_all iterates it, and lock
+        # keys contain strings, so set order would vary with the
+        # process's hash seed — a replayed run must release (and
+        # therefore re-grant) in identical order.
+        self._held = {}
         self._waiting_on = {}  # txn_id -> key it is blocked on
         self.counters = {"acquires": 0, "waits": 0, "deadlocks": 0}
 
@@ -86,7 +91,7 @@ class LockManager:
 
     def _grant(self, state, txn_id, key):
         state.owner = txn_id
-        self._held.setdefault(txn_id, set()).add(key)
+        self._held.setdefault(txn_id, {})[key] = None
         self.counters["acquires"] += 1
 
     def _reaches(self, start, target):
@@ -109,7 +114,7 @@ class LockManager:
         state = self._locks.get(key)
         if state is None or state.owner != txn_id:
             raise ValueError("txn %r does not hold %r" % (txn_id, key))
-        self._held.get(txn_id, set()).discard(key)
+        self._held.get(txn_id, {}).pop(key, None)
         while state.waiters:
             next_txn, event = state.waiters.popleft()
             state.owner = None

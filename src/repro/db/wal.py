@@ -36,7 +36,11 @@ class WriteAheadLog:
                  name="redo"):
         self.sim = sim
         self.filesystem = filesystem
-        self.handle = filesystem.create("%s-log" % name, capacity_bytes)
+        # The "log" placement class: on a placement volume the redo file
+        # lands on the dedicated log child; plain targets serve every
+        # class from the same region, so this is otherwise inert.
+        self.handle = filesystem.create("%s-log" % name, capacity_bytes,
+                                        placement="log")
         self.capacity_bytes = capacity_bytes
         self._next_lsn = 1
         self._buffer = []            # records not yet written

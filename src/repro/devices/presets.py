@@ -105,19 +105,33 @@ def durassd_spec(capacity_bytes=DEFAULT_CAPACITY):
     )
 
 
-def make_hdd(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY):
-    return DiskDrive(sim, cheetah_15k6_spec(capacity_bytes), cache_enabled)
+def _named(spec, name):
+    """Override a spec's name (distinct stripe members need distinct
+    names — telemetry attrs and lifecycle RNG streams key on them)."""
+    return spec if name is None else spec.replace(name=name)
 
 
-def make_ssd_a(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY):
-    return FlashSSD(sim, ssd_a_spec(capacity_bytes), cache_enabled)
+def make_hdd(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY,
+             name=None):
+    return DiskDrive(sim, _named(cheetah_15k6_spec(capacity_bytes), name),
+                     cache_enabled)
 
 
-def make_ssd_b(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY):
-    return FlashSSD(sim, ssd_b_spec(capacity_bytes), cache_enabled)
+def make_ssd_a(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY,
+               name=None):
+    return FlashSSD(sim, _named(ssd_a_spec(capacity_bytes), name),
+                    cache_enabled)
 
 
-def make_durassd(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY):
+def make_ssd_b(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY,
+               name=None):
+    return FlashSSD(sim, _named(ssd_b_spec(capacity_bytes), name),
+                    cache_enabled)
+
+
+def make_durassd(sim, cache_enabled=True, capacity_bytes=DEFAULT_CAPACITY,
+                 name=None):
     """Build a DuraSSD.  Imported lazily to avoid a core<->devices cycle."""
     from ..core.durassd import DuraSSD
-    return DuraSSD(sim, durassd_spec(capacity_bytes), cache_enabled)
+    return DuraSSD(sim, _named(durassd_spec(capacity_bytes), name),
+                   cache_enabled)

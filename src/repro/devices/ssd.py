@@ -108,15 +108,20 @@ class FlashSSD(StorageDevice):
         self.cache.bind_telemetry(sim.telemetry)
         telemetry = sim.telemetry
         telemetry.add_probe("device.cache_occupancy",
-                            lambda: len(self.cache), "device")
+                            lambda: len(self.cache), "device",
+                            device=self.name)
         telemetry.add_probe("device.cache_dedup_hits",
-                            lambda: self.cache.dedup_hits, "device")
+                            lambda: self.cache.dedup_hits, "device",
+                            device=self.name)
         telemetry.add_probe("ftl.dirty_mapping",
-                            lambda: self.ftl.dirty_mapping_entries, "flash")
+                            lambda: self.ftl.dirty_mapping_entries, "flash",
+                            device=self.name)
         telemetry.add_probe("ftl.free_blocks",
-                            lambda: self.ftl.free_blocks, "flash")
+                            lambda: self.ftl.free_blocks, "flash",
+                            device=self.name)
         telemetry.add_probe("ftl.gc_runs",
-                            lambda: self.ftl.counters["gc_runs"], "flash")
+                            lambda: self.ftl.counters["gc_runs"], "flash",
+                            device=self.name)
         self._space_waiters = []
         self._drain_waiters = []  # (snapshot_sequence, event)
         self._inflight_sequences = set()

@@ -65,7 +65,7 @@ _SECONDS_PER_OP = 0.75e-3
 def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                    gray_target="both", engine="innodb", barriers=None,
                    timeout_policy=None, admission_control=True,
-                   horizon=None):
+                   horizon=None, stripe=1):
     """A fully seeded chaos world description (a gray
     :class:`~repro.failures.torture.TortureScenario`).
 
@@ -94,7 +94,8 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
     return TortureScenario(engine=engine, device=device, barriers=barriers,
                            ops=ops, seed=seed, timeout_policy=timeout_policy,
                            gray_profile=profile, gray_target=gray_target,
-                           admission_control=admission_control)
+                           admission_control=admission_control,
+                           stripe=stripe)
 
 
 class ChaosResult:
@@ -149,6 +150,25 @@ class ChaosResult:
                 "read_only=%r violations=%d>"
                 % (self.ops_ok, self.ops_total, self.ops_timed_out,
                    self.ops_rejected, self.read_only, len(self.violations)))
+
+
+def _merge_gray_counters(world):
+    """Gray-fault counters summed per role (a striped data target has
+    several member devices; their episode tallies merge)."""
+    merged = {}
+    roles = (("data", getattr(world, "data_devices",
+                              (world.data_device,))),
+             ("log", (world.log_device,)))
+    for role, devices in roles:
+        totals = {}
+        for device in devices:
+            if device.gray_faults is None:
+                continue
+            for key, value in device.gray_faults.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        if totals:
+            merged[role] = totals
+    return merged
 
 
 def _chaos_client(workload, ops, progress, outcomes):
@@ -245,15 +265,10 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
                                    None) is not None \
             and world.engine.degradation.read_only
         result.host_counters = {
-            "data": dict(world.engine.data_fs.queue.lifecycle.counters),
-            "log": dict(world.engine.log_fs.queue.lifecycle.counters),
+            "data": world.engine.data_fs.lifecycle_counters(),
+            "log": world.engine.log_fs.lifecycle_counters(),
         }
-        result.gray_counters = {
-            role: dict(device.gray_faults.counters)
-            for role, device in (("data", world.data_device),
-                                 ("log", world.log_device))
-            if device.gray_faults is not None
-        }
+        result.gray_counters = _merge_gray_counters(world)
         result.db_counters = dict(
             world.engine.degradation.counters) \
             if getattr(world.engine, "degradation", None) else {}

@@ -38,7 +38,7 @@ from ..db import dbrecovery
 from ..db.commercial import CommercialConfig, CommercialEngine
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
-from ..host import FileSystem
+from ..host import FileSystem, StripedVolume
 from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 from ..sim.rng import make_rng
@@ -82,7 +82,7 @@ class TortureScenario:
                  buffer_pool_bytes=None, fault_config=None,
                  capacitor_health=1.0, workload="linkbench",
                  timeout_policy=None, gray_profile=None,
-                 gray_target="both", admission_control=False):
+                 gray_target="both", admission_control=False, stripe=1):
         if engine not in _ENGINES:
             raise ValueError("unknown engine: %r" % engine)
         if device not in _DEVICE_MAKERS:
@@ -123,9 +123,19 @@ class TortureScenario:
                                                        GrayFaultProfile):
             gray_profile = GrayFaultProfile(**gray_profile)
         self.gray_profile = gray_profile
-        if gray_target not in ("both", "data", "log"):
-            raise ValueError("gray_target must be both, data or log: %r"
-                             % (gray_target,))
+        stripe = int(stripe)
+        if stripe < 1:
+            raise ValueError("stripe width must be >= 1")
+        self.stripe = stripe
+        # "data:<i>" targets gray faults at one stripe member only.
+        if gray_target.startswith("data:"):
+            member = int(gray_target.split(":", 1)[1])
+            if not 0 <= member < stripe:
+                raise ValueError("gray_target member %d outside stripe "
+                                 "width %d" % (member, stripe))
+        elif gray_target not in ("both", "data", "log"):
+            raise ValueError("gray_target must be both, data, log or "
+                             "data:<member>: %r" % (gray_target,))
         self.gray_target = gray_target
         self.admission_control = admission_control
 
@@ -150,6 +160,7 @@ class TortureScenario:
                              if self.gray_profile else None),
             "gray_target": self.gray_target,
             "admission_control": self.admission_control,
+            "stripe": self.stripe,
         }
 
     @classmethod
@@ -166,11 +177,14 @@ class TortureWorld:
     """One freshly built simulation world for a single trial."""
 
     def __init__(self, sim, engine, devices, workload, barriers,
-                 expected_clean):
+                 expected_clean, data_devices=None):
         self.sim = sim
         self.engine = engine
         self.devices = devices
-        self.data_device = devices[0]
+        #: the data-target members (one for an unstriped world)
+        self.data_devices = (tuple(data_devices) if data_devices
+                             else (devices[0],))
+        self.data_device = self.data_devices[0]
         self.log_device = devices[-1]
         self.workload = workload
         self.barriers = barriers
@@ -183,9 +197,16 @@ def build_world(scenario, telemetry=None):
     maker = _DEVICE_MAKERS[scenario.device]
     data_capacity = max(32 * units.MIB, scenario.db_bytes * 8)
     log_capacity = max(16 * units.MIB, scenario.db_bytes * 2)
-    data_device = maker(sim, capacity_bytes=data_capacity)
+    if scenario.stripe > 1:
+        member_capacity = -(-data_capacity // scenario.stripe)
+        data_devices = tuple(
+            maker(sim, capacity_bytes=member_capacity,
+                  name="%s.d%d" % (scenario.device, index))
+            for index in range(scenario.stripe))
+    else:
+        data_devices = (maker(sim, capacity_bytes=data_capacity),)
     log_device = maker(sim, capacity_bytes=log_capacity)
-    devices = (data_device, log_device)
+    devices = data_devices + (log_device,)
     for device in devices:
         if scenario.fault_config is not None and \
                 hasattr(device, "inject_faults"):
@@ -194,16 +215,28 @@ def build_world(scenario, telemetry=None):
                 hasattr(device, "set_capacitor_health"):
             device.set_capacitor_health(scenario.capacitor_health)
     if scenario.gray_profile is not None:
-        if scenario.gray_target in ("both", "data"):
-            data_device.inject_gray_faults(
-                GrayFaultModel(scenario.gray_profile, salt="data"))
+        if scenario.gray_target.startswith("data:"):
+            member = int(scenario.gray_target.split(":", 1)[1])
+            data_devices[member].inject_gray_faults(
+                GrayFaultModel(scenario.gray_profile,
+                               salt="data:%d" % member))
+        elif scenario.gray_target in ("both", "data"):
+            for index, device in enumerate(data_devices):
+                salt = "data" if index == 0 else "data:%d" % index
+                device.inject_gray_faults(
+                    GrayFaultModel(scenario.gray_profile, salt=salt))
         if scenario.gray_target in ("both", "log"):
             log_device.inject_gray_faults(
                 GrayFaultModel(scenario.gray_profile, salt="log"))
     all_durable = all(device.claims_durable_cache for device in devices)
     barriers = (not all_durable) if scenario.barriers is None \
         else scenario.barriers
-    data_fs = FileSystem(sim, data_device, barriers=barriers,
+    if scenario.stripe > 1:
+        data_target = StripedVolume(sim, data_devices,
+                                    timeout_policy=scenario.timeout_policy)
+    else:
+        data_target = data_devices[0]
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
                          timeout_policy=scenario.timeout_policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
                         timeout_policy=scenario.timeout_policy)
@@ -235,7 +268,7 @@ def build_world(scenario, telemetry=None):
         barriers and (scenario.doublewrite
                       or scenario.page_size <= units.LBA_SIZE))
     return TortureWorld(sim, engine, devices, workload, barriers,
-                        expected_clean)
+                        expected_clean, data_devices=data_devices)
 
 
 def generate_ops(scenario):

@@ -1,19 +1,35 @@
-"""Host I/O stack: NCQ, the file system (fsync/barrier policy), and fio."""
+"""Host I/O stack: NCQ, volumes, the file system (fsync/barrier policy),
+and fio."""
 
-from .filesystem import FSYNC_SYSCALL_TIME, FileHandle, FileSystem
+from .filesystem import FSYNC_SYSCALL_TIME, FileHandle, FileSystem, FileView
 from .fio import FioJob, FioResult, run_fio
 from .lifecycle import CommandLifecycle, DeviceTimeoutError, TimeoutPolicy
 from .ncq import CommandQueue
 from .trace import IOTracer, render_latency_histogram
+from .volume import (
+    BlockTarget,
+    PlacementVolume,
+    RegionView,
+    SingleDevice,
+    StripedVolume,
+    as_target,
+)
 
 __all__ = [
+    "BlockTarget",
     "CommandLifecycle",
     "CommandQueue",
     "DeviceTimeoutError",
     "FSYNC_SYSCALL_TIME",
     "FileHandle",
     "FileSystem",
+    "FileView",
+    "PlacementVolume",
+    "RegionView",
+    "SingleDevice",
+    "StripedVolume",
     "TimeoutPolicy",
+    "as_target",
     "FioJob",
     "FioResult",
     "IOTracer",

@@ -13,11 +13,17 @@ metadata, and the next fsync then writes a journal commit block before
 any barrier.  Opening with ``O_DSYNC`` replicates the commercial DBMS
 configuration of Section 4.3.2 — every single write is followed by a
 barrier when barriers are on.
+
+The file system issues commands against a :class:`~repro.host.volume
+.BlockTarget` — one device, a striped volume, or a placement volume.  A
+raw :class:`~repro.devices.base.StorageDevice` is accepted and wrapped
+in a :class:`~repro.host.volume.SingleDevice`, which preserves the
+historical single-drive behavior exactly.
 """
 
 from ..devices.base import READ, WRITE, IORequest
 from ..sim import units
-from .ncq import CommandQueue
+from .volume import as_target
 
 #: CPU cost of entering/leaving the kernel for fsync (calibration: the
 #: "no barrier" rows of Table 1 stay near the pure-write rate).
@@ -47,32 +53,87 @@ class FileHandle:
         return self.base_lba + offset_bytes // units.LBA_SIZE
 
 
-class FileSystem:
-    """Extent allocator + fsync/barrier policy over one device."""
+class FileView:
+    """A per-open view of a file descriptor.
 
-    #: LBAs reserved at the end of the device for the journal.
+    Shares extent geometry and dirty-metadata state with the underlying
+    :class:`FileHandle` but carries its own ``o_dsync`` flag, the way
+    separate file descriptors carry separate status flags: one opener's
+    plain ``open()`` must not strip another opener's O_DSYNC.
+    """
+
+    __slots__ = ("_handle", "o_dsync")
+
+    def __init__(self, handle, o_dsync):
+        self._handle = handle
+        self.o_dsync = o_dsync
+
+    @property
+    def filesystem(self):
+        return self._handle.filesystem
+
+    @property
+    def name(self):
+        return self._handle.name
+
+    @property
+    def base_lba(self):
+        return self._handle.base_lba
+
+    @property
+    def nblocks(self):
+        return self._handle.nblocks
+
+    @property
+    def capacity_bytes(self):
+        return self._handle.capacity_bytes
+
+    @property
+    def size_blocks(self):
+        return self._handle.size_blocks
+
+    @size_blocks.setter
+    def size_blocks(self, value):
+        self._handle.size_blocks = value
+
+    @property
+    def metadata_dirty(self):
+        return self._handle.metadata_dirty
+
+    @metadata_dirty.setter
+    def metadata_dirty(self, value):
+        self._handle.metadata_dirty = value
+
+    def lba_of(self, offset_bytes):
+        return self._handle.lba_of(offset_bytes)
+
+
+class FileSystem:
+    """Extent allocator + fsync/barrier policy over a block target."""
+
+    #: LBAs reserved at the end of the log region for the journal.
     JOURNAL_BLOCKS = 64
 
     def __init__(self, sim, device, barriers=True, queue_depth=32,
                  ordered_queue=True, coalesce_barriers=False, rng=None,
                  timeout_policy=None):
         self.sim = sim
-        self.device = device
+        self.target = as_target(sim, device, queue_depth=queue_depth,
+                                ordered_queue=ordered_queue, rng=rng,
+                                timeout_policy=timeout_policy)
         self.barriers = barriers
         # jbd2-style merging of concurrent flush requests.  ext4 (the
         # commercial-DBMS configuration, Section 4.2) batches aggressively;
         # the XFS + O_DIRECT + per-caller-fsync path the MySQL runs used
         # effectively serialises, so this defaults off.
         self.coalesce_barriers = coalesce_barriers
-        self.queue = CommandQueue(sim, device, depth=queue_depth,
-                                  ordered=ordered_queue, rng=rng,
-                                  timeout_policy=timeout_policy)
         self._files = {}
-        self._alloc_cursor = 0
-        total = device.exported_lbas
-        if total <= self.JOURNAL_BLOCKS:
+        #: per-region allocation cursors, keyed by (base, length)
+        self._region_cursors = {}
+        log_base, log_length = self.target.region("log")
+        if log_length <= self.JOURNAL_BLOCKS:
             raise ValueError("device too small for a file system")
-        self._journal_base = total - self.JOURNAL_BLOCKS
+        self._journal_base = log_base + log_length - self.JOURNAL_BLOCKS
         self._journal_cursor = 0
         self._journal_sequence = 0
         # Barrier coalescing (jbd2 style): concurrent fsyncs share one
@@ -85,26 +146,63 @@ class FileSystem:
                          "journal_commits": 0, "data_writes": 0,
                          "data_reads": 0}
 
+    # --- compatibility views over the target -----------------------------
+    @property
+    def device(self):
+        """The primary member device (the only one for SingleDevice)."""
+        return self.target.members[0]
+
+    @property
+    def queue(self):
+        """The primary command queue (the only one for SingleDevice)."""
+        return self.target.queues[0]
+
+    def lifecycle_counters(self):
+        """Lifecycle counters summed over every member queue."""
+        totals = {}
+        for queue in self.target.queues:
+            for key, value in queue.lifecycle.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     # --- namespace -----------------------------------------------------------
-    def create(self, name, size_bytes, o_dsync=False):
-        """Preallocate a contiguous file of ``size_bytes`` (rounded up)."""
+    def create(self, name, size_bytes, o_dsync=False, placement="data"):
+        """Preallocate a contiguous file of ``size_bytes`` (rounded up).
+
+        ``placement`` names the extent class the file's blocks come
+        from; targets without placement support serve every class from
+        the same region, so the default behaves exactly like the
+        historical single-region allocator.
+        """
         if name in self._files:
             raise ValueError("file exists: %r" % name)
         nblocks = units.lba_count(size_bytes)
-        if self._alloc_cursor + nblocks > self._journal_base:
+        base, length = self.target.region(placement)
+        key = (base, length)
+        cursor = self._region_cursors.get(key, base)
+        limit = base + length
+        if base <= self._journal_base < limit:
+            limit = self._journal_base  # the journal caps its region
+        if cursor + nblocks > limit:
             raise ValueError("file system full: %r needs %d blocks"
                              % (name, nblocks))
-        handle = FileHandle(self, name, self._alloc_cursor, nblocks,
-                            o_dsync=o_dsync)
-        self._alloc_cursor += nblocks
+        handle = FileHandle(self, name, cursor, nblocks, o_dsync=o_dsync)
+        self._region_cursors[key] = cursor + nblocks
         self._files[name] = handle
         handle.metadata_dirty = True  # creation dirties the inode
         return handle
 
     def open(self, name, o_dsync=False):
+        """Open an existing file; the ``o_dsync`` flag is per-open.
+
+        Returns the stored handle when the flag matches (the common
+        case) and a :class:`FileView` otherwise, so no opener can
+        change the durability semantics another opener relies on.
+        """
         handle = self._files[name]
-        handle.o_dsync = o_dsync
-        return handle
+        if handle.o_dsync == o_dsync:
+            return handle
+        return FileView(handle, o_dsync)
 
     # --- data path (generators: run under sim.process or yield from) --------
     def pwrite(self, handle, offset_bytes, values):
@@ -117,7 +215,7 @@ class FileSystem:
         with self.sim.telemetry.span("fs.pwrite", "host", file=handle.name,
                                      lba=lba, nblocks=nblocks):
             request = IORequest(WRITE, lba, nblocks, payload=list(values))
-            completed = yield self.queue.submit(request)
+            completed = yield self.target.submit(request)
             self.counters["data_writes"] += 1
             end_block = offset_bytes // units.LBA_SIZE + nblocks
             if end_block > handle.size_blocks:
@@ -135,7 +233,7 @@ class FileSystem:
         with self.sim.telemetry.span("fs.pread", "host", file=handle.name,
                                      lba=lba, nblocks=nblocks):
             request = IORequest(READ, lba, nblocks)
-            completed = yield self.queue.submit(request)
+            completed = yield self.target.submit(request)
             self.counters["data_reads"] += 1
         return completed.result
 
@@ -177,7 +275,7 @@ class FileSystem:
             self._journal_sequence += 1
             token = ("journal", handle.name, self._journal_sequence)
             request = IORequest(WRITE, lba, 1, payload=[token])
-            yield self.queue.submit(request)
+            yield self.target.submit(request)
             self.counters["journal_commits"] += 1
 
     def _barrier_if_enabled(self):
@@ -193,7 +291,7 @@ class FileSystem:
                                      coalesced=self.coalesce_barriers):
             if not self.coalesce_barriers:
                 self.counters["barriers_issued"] += 1
-                yield self.queue.flush()
+                yield self.target.flush()
                 return
             self._barrier_requested += 1
             my_round = self._barrier_requested
@@ -210,7 +308,7 @@ class FileSystem:
                 target = self._barrier_requested
                 self.counters["barriers_issued"] += 1
                 try:
-                    yield self.queue.flush()
+                    yield self.target.flush()
                 except Exception as exc:
                     # The flush escalated (DeviceTimeoutError): deliver
                     # the failure to the rounds this flush covered
@@ -239,10 +337,10 @@ class FileSystem:
     def persistent_blocks(self, handle, offset_bytes, nblocks):
         """Values on stable media for a file range (checker support)."""
         lba = handle.lba_of(offset_bytes)
-        return self.device.persistent_view(range(lba, lba + nblocks))
+        return self.target.persistent_view(range(lba, lba + nblocks))
 
     def install_blocks(self, handle, offset_bytes, values):
         """Durably place block values without simulated time (recovery)."""
         lba = handle.lba_of(offset_bytes)
         for index, value in enumerate(values):
-            self.device.install_persistent(lba + index, value)
+            self.target.install_persistent(lba + index, value)

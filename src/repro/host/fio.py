@@ -112,19 +112,19 @@ def _prefill_blank(handle):
     timed write path would dominate the run, so we install the contents
     directly — the read-side timing is what the job measures.
     """
-    device = handle.filesystem.device
-    ftl = getattr(device, "ftl", None)
-    if ftl is None:
-        medium = getattr(device, "_medium", None)
-        if medium is not None:
-            for lba in range(handle.base_lba, handle.base_lba + handle.nblocks):
-                medium[lba] = ("prefill", lba)
-        return
-    lbas_per_slot = max(1, ftl.mapping_unit // units.LBA_SIZE)
+    target = handle.filesystem.target
     for lba in range(handle.base_lba, handle.base_lba + handle.nblocks):
-        slot = lba // lbas_per_slot
+        device, dev_lba = target.locate(lba)
+        ftl = getattr(device, "ftl", None)
+        if ftl is None:
+            medium = getattr(device, "_medium", None)
+            if medium is not None:
+                medium[dev_lba] = ("prefill", dev_lba)
+            continue
+        lbas_per_slot = max(1, ftl.mapping_unit // units.LBA_SIZE)
+        slot = dev_lba // lbas_per_slot
         if ftl.lookup(slot) is None:
-            pslot_value = (("prefill", lba) if lbas_per_slot == 1
+            pslot_value = (("prefill", dev_lba) if lbas_per_slot == 1
                            else {l: ("prefill", l)
                                  for l in range(slot * lbas_per_slot,
                                                 (slot + 1) * lbas_per_slot)})

@@ -110,9 +110,10 @@ class CommandLifecycle:
             for key in self.COUNTER_KEYS:
                 telemetry.add_probe("host.%s" % key,
                                     lambda key=key: self.counters[key],
-                                    "host")
+                                    "host", device=device.name)
             telemetry.add_probe("host.inflight_age_max",
-                                device.oldest_inflight_age, "host")
+                                device.oldest_inflight_age, "host",
+                                device=device.name)
 
     def execute(self, request):
         """Run one I/O command through the full lifecycle (generator)."""

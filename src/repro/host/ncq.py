@@ -35,7 +35,8 @@ class CommandQueue:
         self.max_observed_depth = 0
         self.lifecycle = CommandLifecycle(sim, device, timeout_policy)
         sim.telemetry.add_probe("ncq.depth",
-                                lambda: self._slots.in_use, "host")
+                                lambda: self._slots.in_use, "host",
+                                device=device.name)
 
     @property
     def outstanding(self):

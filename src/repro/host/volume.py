@@ -1,0 +1,466 @@
+"""Block targets: the volume layer between the file system and devices.
+
+The paper's stack stops at one drive; scaling the reproduction needs
+host-level parallelism too.  A :class:`BlockTarget` is what
+:class:`~repro.host.filesystem.FileSystem` talks to — a flat LBA space
+with submit/flush plus the post-crash inspection hooks the failure
+checkers use.  Three implementations:
+
+* :class:`SingleDevice` — a zero-overhead adapter over one
+  :class:`~repro.devices.base.StorageDevice`.  Every call is a direct
+  pass-through to one :class:`~repro.host.ncq.CommandQueue`, so the
+  calibrated single-drive benchmarks are byte-identical to a file
+  system built straight on the device.
+* :class:`StripedVolume` — RAID-0 over N devices.  LBAs are split into
+  ``chunk_blocks``-sized chunks dealt round-robin across members, each
+  member behind its own command queue and (when armed) its own timeout
+  lifecycle, so a gray member is aborted/reset without touching healthy
+  ones.  ``flush`` fans out *only* to members holding writes not yet
+  covered by a completed flush (see :class:`_MemberActivity`).
+* :class:`PlacementVolume` — named extent classes over child targets:
+  files created with ``placement="log"`` land on the log child while
+  ``"data"`` files stripe, modelling a dedicated WAL device.
+
+:class:`RegionView` additionally exposes a sub-range of any target as a
+target of its own — two file systems (data + log) can share one striped
+volume, which is exactly the "WAL colocated" arm of the log-placement
+ablation in ``repro.bench.scaling``.
+"""
+
+from ..devices.base import READ, WRITE, IORequest
+from .ncq import CommandQueue
+
+
+class BlockTarget:
+    """A flat LBA space the file system issues commands against.
+
+    Subclasses define :attr:`exported_lbas`, :meth:`submit`,
+    :meth:`flush`, :meth:`locate` and the member/queue inventories.
+    ``locate`` maps a target LBA to ``(device, device_lba)`` — the one
+    primitive from which the untimed post-crash inspection helpers
+    (:meth:`read_persistent` and friends) derive.
+    """
+
+    name = "target"
+
+    @property
+    def exported_lbas(self):
+        raise NotImplementedError
+
+    @property
+    def members(self):
+        """The underlying :class:`StorageDevice` instances, in order."""
+        raise NotImplementedError
+
+    @property
+    def queues(self):
+        """One :class:`CommandQueue` per member, same order."""
+        raise NotImplementedError
+
+    def submit(self, request):
+        """Issue a request; returns its completion event."""
+        raise NotImplementedError
+
+    def flush(self):
+        """Issue flush-cache; returns its completion event."""
+        raise NotImplementedError
+
+    def locate(self, lba):
+        """Map a target LBA to ``(device, device_lba)``."""
+        raise NotImplementedError
+
+    def region(self, placement):
+        """``(base_lba, nblocks)`` of the extent class ``placement``.
+
+        The default target has no placement classes: everything maps to
+        the whole LBA space.
+        """
+        return (0, self.exported_lbas)
+
+    # --- post-crash inspection (untimed, via locate) ----------------------
+    def read_persistent(self, lba):
+        device, device_lba = self.locate(lba)
+        return device.read_persistent(device_lba)
+
+    def persistent_view(self, blocks):
+        return [self.read_persistent(lba) for lba in blocks]
+
+    def install_persistent(self, lba, value):
+        device, device_lba = self.locate(lba)
+        device.install_persistent(device_lba, value)
+
+
+def as_target(sim, device_or_target, queue_depth=32, ordered_queue=True,
+              rng=None, timeout_policy=None):
+    """Adapt a raw device to a :class:`SingleDevice`; pass targets through.
+
+    The queue knobs only apply when wrapping a raw device — an existing
+    target already owns its queues.
+    """
+    if isinstance(device_or_target, BlockTarget):
+        return device_or_target
+    return SingleDevice(sim, device_or_target, queue_depth=queue_depth,
+                        ordered_queue=ordered_queue, rng=rng,
+                        timeout_policy=timeout_policy)
+
+
+class SingleDevice(BlockTarget):
+    """One device behind one command queue; a pure pass-through.
+
+    Every method delegates directly — no wrapper process, no extra
+    events — so a file system over ``SingleDevice(dev)`` is
+    byte-identical to the historical file system built on ``dev``.
+    """
+
+    def __init__(self, sim, device, queue_depth=32, ordered_queue=True,
+                 rng=None, timeout_policy=None):
+        self.sim = sim
+        self.device = device
+        self.name = device.name
+        self.queue = CommandQueue(sim, device, depth=queue_depth,
+                                  ordered=ordered_queue, rng=rng,
+                                  timeout_policy=timeout_policy)
+
+    @property
+    def exported_lbas(self):
+        return self.device.exported_lbas
+
+    @property
+    def members(self):
+        return (self.device,)
+
+    @property
+    def queues(self):
+        return (self.queue,)
+
+    def submit(self, request):
+        return self.queue.submit(request)
+
+    def flush(self):
+        return self.queue.flush()
+
+    def locate(self, lba):
+        return self.device, lba
+
+    def persistent_view(self, blocks):
+        return self.device.persistent_view(blocks)
+
+
+class _MemberActivity:
+    """Write-activity counters for one stripe member.
+
+    A member is *dirty* (must be flushed for an fsync to be honest)
+    whenever writes completed since the last fully-covering flush, or
+    writes are still in flight.  ``completed`` is captured when a flush
+    *starts* and committed to ``flushed`` only when it completes: a
+    write acked after a flush began is not covered by that flush, so it
+    keeps the member dirty for the next barrier.
+    """
+
+    __slots__ = ("submitted", "completed", "flushed")
+
+    def __init__(self):
+        self.submitted = 0
+        self.completed = 0
+        self.flushed = 0
+
+    @property
+    def dirty(self):
+        return self.completed > self.flushed \
+            or self.submitted > self.completed
+
+
+class StripedVolume(BlockTarget):
+    """RAID-0: fixed-size chunks dealt round-robin over N devices.
+
+    Chunk ``c`` (LBAs ``[c*chunk_blocks, (c+1)*chunk_blocks)``) lives on
+    member ``c % width`` at member chunk ``c // width``.  A spanning
+    request is split into per-member fragments submitted concurrently;
+    the completion event fires when every fragment has completed, with
+    read fragments reassembled positionally.
+
+    Each member gets its own :class:`CommandQueue` and, when a
+    ``timeout_policy`` is armed, its own
+    :class:`~repro.host.lifecycle.CommandLifecycle` — a deadline expiry
+    aborts and soft-resets only the member that stalled.
+    """
+
+    def __init__(self, sim, devices, chunk_blocks=8, queue_depth=32,
+                 ordered_queue=True, rng=None, timeout_policy=None):
+        if not devices:
+            raise ValueError("a striped volume needs at least one device")
+        if chunk_blocks < 1:
+            raise ValueError("chunk_blocks must be >= 1")
+        self.sim = sim
+        self.chunk_blocks = chunk_blocks
+        self.width = len(devices)
+        self._devices = tuple(devices)
+        self.name = "stripe[%s]" % ",".join(d.name for d in devices)
+        self._queues = tuple(
+            CommandQueue(sim, device, depth=queue_depth,
+                         ordered=ordered_queue, rng=rng,
+                         timeout_policy=timeout_policy)
+            for device in devices)
+        self._activity = tuple(_MemberActivity() for _ in devices)
+        # The exported space is the largest whole number of full stripes
+        # every member can hold (trailing member capacity beyond that is
+        # unaddressable, as in md raid0 with equal-size expectations).
+        chunks_per_member = min(d.exported_lbas for d in devices) \
+            // chunk_blocks
+        self._exported = chunks_per_member * chunk_blocks * self.width
+
+    @property
+    def exported_lbas(self):
+        return self._exported
+
+    @property
+    def members(self):
+        return self._devices
+
+    @property
+    def queues(self):
+        return self._queues
+
+    def locate(self, lba):
+        member, member_lba = self._locate_index(lba)
+        return self._devices[member], member_lba
+
+    def _locate_index(self, lba):
+        chunk, within = divmod(lba, self.chunk_blocks)
+        member_chunk, member = divmod(chunk, self.width)
+        return member, member_chunk * self.chunk_blocks + within
+
+    def fragments(self, lba, nblocks):
+        """Split an LBA range into ``(member, member_lba, offset, count)``
+        fragments, in ascending target-LBA order."""
+        frags = []
+        offset = 0
+        while nblocks > 0:
+            within = lba % self.chunk_blocks
+            take = min(self.chunk_blocks - within, nblocks)
+            member, member_lba = self._locate_index(lba)
+            frags.append((member, member_lba, offset, take))
+            lba += take
+            offset += take
+            nblocks -= take
+        return frags
+
+    def submit(self, request):
+        return self.sim.process(self._submit(request))
+
+    def _submit(self, request):
+        if request.lba + request.nblocks > self._exported:
+            raise ValueError("request past end of %s: lba=%d n=%d"
+                             % (self.name, request.lba, request.nblocks))
+        frags = self.fragments(request.lba, request.nblocks)
+        with self.sim.telemetry.span("vol.submit", "host", op=request.op,
+                                     lba=request.lba,
+                                     nblocks=request.nblocks,
+                                     fragments=len(frags)):
+            pending = []
+            for member, member_lba, offset, count in frags:
+                payload = (list(request.payload[offset:offset + count])
+                           if request.op == WRITE else None)
+                part = IORequest(request.op, member_lba, count,
+                                 payload=payload, tag=request.tag)
+                if request.op == WRITE:
+                    self._activity[member].submitted += 1
+                pending.append((member, offset, count,
+                                self._queues[member].submit(part)))
+            result = [None] * request.nblocks if request.op == READ else None
+            for member, offset, count, event in pending:
+                part = yield event
+                if request.op == WRITE:
+                    self._activity[member].completed += 1
+                else:
+                    result[offset:offset + count] = part.result
+            if request.op == READ:
+                request.result = result
+            request.complete_time = self.sim.now
+        return request
+
+    def flush(self):
+        return self.sim.process(self._flush())
+
+    def _flush(self):
+        # Fan out only to dirty members; capture each member's completed
+        # count now, commit it when that member's flush lands.
+        covered = [(index, state.completed)
+                   for index, state in enumerate(self._activity)
+                   if state.dirty]
+        with self.sim.telemetry.span("vol.flush", "host",
+                                     fanout=len(covered)):
+            pending = [(index, completed, self._queues[index].flush())
+                       for index, completed in covered]
+            for index, completed, event in pending:
+                yield event
+                state = self._activity[index]
+                if completed > state.flushed:
+                    state.flushed = completed
+        return None
+
+
+class RegionView(BlockTarget):
+    """A contiguous sub-range of a parent target, as a target itself.
+
+    Lets two file systems (say data and log) carve disjoint extents out
+    of one shared volume; a flush on either view flushes the shared
+    members — exactly the interference a colocated WAL suffers.
+    """
+
+    def __init__(self, parent, base_lba, nblocks, name=None):
+        if base_lba < 0 or nblocks < 1 \
+                or base_lba + nblocks > parent.exported_lbas:
+            raise ValueError("region [%d, +%d) outside %s"
+                             % (base_lba, nblocks, parent.name))
+        self.parent = parent
+        self.base_lba = base_lba
+        self.nblocks = nblocks
+        self.name = name if name is not None \
+            else "%s[%d:+%d]" % (parent.name, base_lba, nblocks)
+
+    @property
+    def sim(self):
+        return self.parent.sim
+
+    @property
+    def exported_lbas(self):
+        return self.nblocks
+
+    @property
+    def members(self):
+        return self.parent.members
+
+    @property
+    def queues(self):
+        return self.parent.queues
+
+    def _check(self, lba, nblocks=1):
+        if lba < 0 or lba + nblocks > self.nblocks:
+            raise ValueError("request past end of %s: lba=%d n=%d"
+                             % (self.name, lba, nblocks))
+
+    def submit(self, request):
+        self._check(request.lba, request.nblocks)
+        shifted = IORequest(request.op, self.base_lba + request.lba,
+                            request.nblocks, payload=request.payload,
+                            tag=request.tag)
+        return self.parent.submit(shifted)
+
+    def flush(self):
+        return self.parent.flush()
+
+    def locate(self, lba):
+        self._check(lba)
+        return self.parent.locate(self.base_lba + lba)
+
+
+class PlacementVolume(BlockTarget):
+    """Named extent classes routed to dedicated child targets.
+
+    ``children`` maps placement names to targets; their LBA spaces are
+    concatenated (in mapping order) into one flat space.  A request must
+    fall entirely inside one child.  :meth:`region` returns the child's
+    range for its name, and the ``default`` child's range for any
+    placement class without a dedicated target — so a file system can
+    always ask for ``region("log")`` and get *somewhere* sensible.
+    """
+
+    def __init__(self, children, default="data"):
+        if not children:
+            raise ValueError("a placement volume needs at least one child")
+        if default not in children:
+            raise ValueError("default placement %r has no child" % default)
+        self.default = default
+        self._children = dict(children)
+        self._ranges = {}
+        base = 0
+        for placement, child in self._children.items():
+            self._ranges[placement] = (base, child.exported_lbas, child)
+            base += child.exported_lbas
+        self._exported = base
+        self.name = "placed[%s]" % ",".join(
+            "%s=%s" % (placement, child.name)
+            for placement, child in self._children.items())
+        self._activity = {placement: _MemberActivity()
+                          for placement in self._children}
+
+    @property
+    def sim(self):
+        return next(iter(self._children.values())).sim
+
+    @property
+    def exported_lbas(self):
+        return self._exported
+
+    @property
+    def placements(self):
+        return tuple(self._children)
+
+    @property
+    def members(self):
+        found = []
+        for child in self._children.values():
+            found.extend(child.members)
+        return tuple(found)
+
+    @property
+    def queues(self):
+        found = []
+        for child in self._children.values():
+            found.extend(child.queues)
+        return tuple(found)
+
+    def region(self, placement):
+        base, nblocks, _child = self._ranges.get(
+            placement, self._ranges[self.default])
+        return (base, nblocks)
+
+    def _route(self, lba, nblocks=1):
+        for placement, (base, length, child) in self._ranges.items():
+            if base <= lba < base + length:
+                if lba + nblocks > base + length:
+                    raise ValueError(
+                        "request crosses placement boundary at lba=%d" % lba)
+                return placement, lba - base, child
+        raise ValueError("lba %d outside %s" % (lba, self.name))
+
+    def submit(self, request):
+        return self.sim.process(self._submit(request))
+
+    def _submit(self, request):
+        placement, child_lba, child = self._route(request.lba,
+                                                  request.nblocks)
+        part = IORequest(request.op, child_lba, request.nblocks,
+                         payload=request.payload, tag=request.tag)
+        state = self._activity[placement]
+        if request.op == WRITE:
+            state.submitted += 1
+        completed = yield child.submit(part)
+        if request.op == WRITE:
+            state.completed += 1
+        else:
+            request.result = completed.result
+        request.complete_time = self.sim.now
+        return request
+
+    def flush(self):
+        return self.sim.process(self._flush())
+
+    def _flush(self):
+        covered = [(placement, state.completed)
+                   for placement, state in self._activity.items()
+                   if state.dirty]
+        pending = [(placement, completed,
+                    self._ranges[placement][2].flush())
+                   for placement, completed in covered]
+        for placement, completed, event in pending:
+            yield event
+            state = self._activity[placement]
+            if completed > state.flushed:
+                state.flushed = completed
+        return None
+
+    def locate(self, lba):
+        _placement, child_lba, child = self._route(lba)
+        return child.locate(child_lba)

@@ -201,11 +201,13 @@ class Telemetry:
         })
 
     # --- probes ---------------------------------------------------------
-    def add_probe(self, name, fn, track="probe"):
+    def add_probe(self, name, fn, track="probe", **attrs):
         """Register a gauge sampled every ``sample_interval`` simulated
         seconds.  Duplicate names get a deterministic ``#n`` suffix (two
         devices both expose ``device.cache_occupancy``); returns the
-        final name, or None on a disabled hub."""
+        final name, or None on a disabled hub.  Keyword ``attrs``
+        identify the instance (``device="durassd.0"``) and ride along on
+        every sample event of the probe."""
         if not self.enabled:
             return None
         base, n = name, 1
@@ -213,7 +215,7 @@ class Telemetry:
             n += 1
             name = "%s#%d" % (base, n)
         self._probe_names.add(name)
-        self.probes.append(Probe(name, track, fn))
+        self.probes.append(Probe(name, track, fn, attrs))
         if self.sim is not None:
             self.sim._arm_telemetry_tick()
         return name
@@ -226,13 +228,19 @@ class Telemetry:
 
     def _sample_all(self, ts):
         for probe in self.probes:
-            self.events.append({
+            event = {
                 "type": "sample",
                 "name": probe.name,
                 "track": probe.track,
                 "ts": ts,
                 "value": probe.fn(),
-            })
+            }
+            if probe.attrs:
+                # Only probes registered with attrs carry the key, so
+                # streams from attr-free worlds are byte-identical to
+                # before attrs existed.
+                event["attrs"] = dict(probe.attrs)
+            self.events.append(event)
 
     def _on_clock_advance(self, when):
         """Called by the simulator just before ``now`` jumps to ``when``.

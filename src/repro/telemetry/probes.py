@@ -31,14 +31,17 @@ two-drive MySQL world.
 
 
 class Probe:
-    """One registered gauge: a name, a layer track, and a callable."""
+    """One registered gauge: a name, a layer track, a callable, and
+    optional identifying attributes (e.g. ``device="durassd.0"`` on a
+    stripe member's gauges)."""
 
-    __slots__ = ("name", "track", "fn")
+    __slots__ = ("name", "track", "fn", "attrs")
 
-    def __init__(self, name, track, fn):
+    def __init__(self, name, track, fn, attrs=None):
         self.name = name
         self.track = track
         self.fn = fn
+        self.attrs = attrs or {}
 
     def __repr__(self):
         return "<Probe %s (%s)>" % (self.name, self.track)

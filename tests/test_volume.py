@@ -1,0 +1,389 @@
+"""Tests for the volume layer: striping, placement, and region views.
+
+The load-bearing property: a trace of writes, reads, fsyncs and a
+power cut against :class:`StripedVolume` leaves exactly the same
+logical contents as the same trace against :class:`SingleDevice` over
+one device of equal capacity — striping changes performance, never
+semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.devices import IORequest, make_durassd
+from repro.failures import chaos
+from repro.failures.torture import TortureScenario, record, run_trial
+from repro.host import (
+    FileSystem,
+    PlacementVolume,
+    RegionView,
+    SingleDevice,
+    StripedVolume,
+)
+from repro.sim import Simulator, units
+
+from conftest import run_process
+
+MEMBER_BYTES = 4 * units.MIB
+
+
+def make_stripe(sim, width, chunk_blocks=4, member_bytes=MEMBER_BYTES):
+    devices = [make_durassd(sim, capacity_bytes=member_bytes,
+                            name="m%d" % index)
+               for index in range(width)]
+    return StripedVolume(sim, devices, chunk_blocks=chunk_blocks), devices
+
+
+class TestGeometry:
+    def test_fragments_partition_the_range(self, sim):
+        volume, devices = make_stripe(sim, 3)
+        rng = random.Random(7)
+        for _ in range(200):
+            nblocks = rng.randrange(1, 16)
+            lba = rng.randrange(0, volume.exported_lbas - nblocks)
+            frags = volume.fragments(lba, nblocks)
+            assert sum(take for *_rest, take in frags) == nblocks
+            cursor = lba
+            for member, member_lba, offset, take in frags:
+                assert offset == cursor - lba
+                assert take <= volume.chunk_blocks
+                for i in range(take):
+                    device, device_lba = volume.locate(cursor + i)
+                    assert device is devices[member]
+                    assert device_lba == member_lba + i
+                cursor += take
+            assert cursor == lba + nblocks
+
+    def test_locate_is_injective(self, sim):
+        volume, _devices = make_stripe(sim, 4, member_bytes=units.MIB)
+        seen = set()
+        for lba in range(volume.exported_lbas):
+            device, device_lba = volume.locate(lba)
+            assert 0 <= device_lba < device.exported_lbas
+            key = (device.name, device_lba)
+            assert key not in seen
+            seen.add(key)
+
+    def test_exported_space_is_whole_stripes(self, sim):
+        volume, _devices = make_stripe(sim, 3, chunk_blocks=8)
+        assert volume.exported_lbas % (8 * 3) == 0
+
+    def test_request_past_end_rejected(self, sim):
+        volume, _devices = make_stripe(sim, 2)
+
+        def bad():
+            yield volume.submit(IORequest("write", volume.exported_lbas - 1,
+                                          2, payload=["x", "y"]))
+
+        with pytest.raises(ValueError):
+            run_process(sim, bad())
+
+    def test_construction_validation(self, sim):
+        with pytest.raises(ValueError):
+            StripedVolume(sim, [])
+        with pytest.raises(ValueError):
+            StripedVolume(sim, [make_durassd(sim)], chunk_blocks=0)
+
+
+def _make_trace(rng, lbas, ops=150):
+    """A seeded write/read/fsync trace over ``lbas`` logical blocks."""
+    trace = []
+    token = 0
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.55:
+            nblocks = rng.randrange(1, 13)
+            lba = rng.randrange(0, lbas - nblocks)
+            tokens = ["t%d" % (token + i) for i in range(nblocks)]
+            token += nblocks
+            trace.append(("write", lba, tokens))
+        elif roll < 0.85:
+            nblocks = rng.randrange(1, 13)
+            lba = rng.randrange(0, lbas - nblocks)
+            trace.append(("read", lba, nblocks))
+        else:
+            trace.append(("flush",))
+    return trace
+
+
+def _drive_trace(sim, target, trace):
+    """Apply a trace sequentially; returns every read's result."""
+
+    def driver():
+        reads = []
+        for op in trace:
+            if op[0] == "write":
+                _kind, lba, tokens = op
+                yield target.submit(IORequest("write", lba, len(tokens),
+                                              payload=list(tokens)))
+            elif op[0] == "read":
+                _kind, lba, nblocks = op
+                done = yield target.submit(IORequest("read", lba, nblocks))
+                reads.append(list(done.result))
+            else:
+                yield target.flush()
+        return reads
+
+    return run_process(sim, driver())
+
+
+class TestStripedEquivalence:
+    @pytest.mark.parametrize("width,chunk_blocks", [(2, 4), (4, 2), (3, 8)])
+    def test_trace_and_power_cut_equivalence(self, width, chunk_blocks):
+        """The satellite property: identical reads while running, and
+        identical persistent contents after a power cut, for any seeded
+        trace — StripedVolume vs SingleDevice of equal total capacity."""
+        single_sim = Simulator()
+        single = SingleDevice(
+            single_sim,
+            make_durassd(single_sim, capacity_bytes=MEMBER_BYTES * width))
+        striped_sim = Simulator()
+        volume, members = make_stripe(striped_sim, width,
+                                      chunk_blocks=chunk_blocks)
+        lbas = min(single.exported_lbas, volume.exported_lbas)
+        trace = _make_trace(random.Random(100 * width + chunk_blocks), lbas)
+
+        single_reads = _drive_trace(single_sim, single, trace)
+        striped_reads = _drive_trace(striped_sim, volume, trace)
+        assert single_reads == striped_reads
+
+        # Power-cut the whole array; a durable cache retains every acked
+        # write, so the flat persistent images must match exactly.
+        for device in single.members + volume.members:
+            device.power_fail()
+            device.reboot()
+        single_view = [single.read_persistent(lba) for lba in range(lbas)]
+        striped_view = [volume.read_persistent(lba) for lba in range(lbas)]
+        assert single_view == striped_view
+
+
+class TestFlushFanOut:
+    def test_flush_targets_only_dirty_members(self, sim):
+        volume, devices = make_stripe(sim, 4)
+
+        def work():
+            # chunk 0 lives entirely on member 0
+            yield volume.submit(IORequest("write", 0, 2, payload=["a", "b"]))
+            yield volume.flush()
+
+        run_process(sim, work())
+        assert devices[0].counters["flushes"] == 1
+        assert all(d.counters["flushes"] == 0 for d in devices[1:])
+
+    def test_clean_members_skip_the_second_flush(self, sim):
+        volume, devices = make_stripe(sim, 2)
+
+        def work():
+            yield volume.submit(IORequest("write", 0, 1, payload=["a"]))
+            yield volume.flush()
+            yield volume.flush()  # nothing new: no device flush at all
+
+        run_process(sim, work())
+        assert devices[0].counters["flushes"] == 1
+        assert devices[1].counters["flushes"] == 0
+
+    def test_flush_with_no_writes_is_free(self, sim):
+        volume, devices = make_stripe(sim, 2)
+
+        def work():
+            yield volume.flush()
+
+        run_process(sim, work())
+        assert all(d.counters["flushes"] == 0 for d in devices)
+
+    def test_spanning_write_dirties_both_members(self, sim):
+        volume, devices = make_stripe(sim, 2, chunk_blocks=2)
+
+        def work():
+            # LBAs 0..3 cover chunk 0 (member 0) and chunk 1 (member 1)
+            yield volume.submit(IORequest("write", 0, 4,
+                                          payload=list("abcd")))
+            yield volume.flush()
+
+        run_process(sim, work())
+        assert devices[0].counters["flushes"] == 1
+        assert devices[1].counters["flushes"] == 1
+
+
+class TestRegionView:
+    def test_view_shifts_and_bounds(self, sim):
+        target = SingleDevice(sim, make_durassd(sim,
+                                                capacity_bytes=MEMBER_BYTES))
+        view = RegionView(target, 64, 32, name="log")
+        assert view.exported_lbas == 32
+        assert view.locate(0) == (target.device, 64)
+
+        def work():
+            yield view.submit(IORequest("write", 0, 1, payload=["first"]))
+            yield view.flush()
+
+        run_process(sim, work())
+        assert target.read_persistent(64) == "first"
+        assert target.device.counters["flushes"] == 1
+
+        def bad():
+            yield view.submit(IORequest("write", 31, 2, payload=["x", "y"]))
+
+        with pytest.raises(ValueError):
+            run_process(sim, bad())
+
+    def test_view_outside_parent_rejected(self, sim):
+        target = SingleDevice(sim, make_durassd(sim,
+                                                capacity_bytes=MEMBER_BYTES))
+        with pytest.raises(ValueError):
+            RegionView(target, target.exported_lbas - 4, 8)
+
+
+class TestPlacementVolume:
+    def _volume(self, sim):
+        data = SingleDevice(sim, make_durassd(sim, capacity_bytes=MEMBER_BYTES,
+                                              name="data0"))
+        log = SingleDevice(sim, make_durassd(sim,
+                                             capacity_bytes=2 * units.MIB,
+                                             name="log0"))
+        return PlacementVolume({"data": data, "log": log}), data, log
+
+    def test_regions_concatenate(self, sim):
+        volume, data, log = self._volume(sim)
+        assert volume.region("data") == (0, data.exported_lbas)
+        assert volume.region("log") == (data.exported_lbas,
+                                        log.exported_lbas)
+        # an unknown placement class falls back to the default child
+        assert volume.region("tmp") == volume.region("data")
+        assert volume.exported_lbas \
+            == data.exported_lbas + log.exported_lbas
+
+    def test_submit_routes_to_the_right_child(self, sim):
+        volume, data, log = self._volume(sim)
+        log_base = data.exported_lbas
+
+        def work():
+            yield volume.submit(IORequest("write", log_base, 1,
+                                          payload=["wal"]))
+            done = yield volume.submit(IORequest("read", log_base, 1))
+            return done.result
+
+        assert run_process(sim, work()) == ["wal"]
+        assert log.device.counters["writes"] == 1
+        assert data.device.counters["writes"] == 0
+
+    def test_cross_child_request_rejected(self, sim):
+        volume, data, _log = self._volume(sim)
+
+        def bad():
+            yield volume.submit(IORequest("write", data.exported_lbas - 1,
+                                          2, payload=["x", "y"]))
+
+        with pytest.raises(ValueError):
+            run_process(sim, bad())
+
+    def test_flush_targets_only_dirty_children(self, sim):
+        volume, data, log = self._volume(sim)
+        log_base = data.exported_lbas
+
+        def work():
+            yield volume.submit(IORequest("write", log_base, 1,
+                                          payload=["wal"]))
+            yield volume.flush()
+
+        run_process(sim, work())
+        assert log.device.counters["flushes"] == 1
+        assert data.device.counters["flushes"] == 0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            PlacementVolume({})
+        data = SingleDevice(sim, make_durassd(sim))
+        with pytest.raises(ValueError):
+            PlacementVolume({"log": data}, default="data")
+
+
+class TestFileSystemOverVolume:
+    def test_files_survive_striping(self, sim):
+        volume, _devices = make_stripe(sim, 2)
+        fs = FileSystem(sim, volume, barriers=True)
+        handle = fs.create("table", units.MIB)
+
+        def work():
+            yield from fs.pwrite(handle, 0, ["p0", "p1", "p2"])
+            yield from fs.fsync(handle)
+            return (yield from fs.pread(handle, 0, 3))
+
+        assert run_process(sim, work()) == ["p0", "p1", "p2"]
+
+    def test_placement_routes_log_files(self, sim):
+        data = SingleDevice(sim, make_durassd(sim, capacity_bytes=MEMBER_BYTES,
+                                              name="data0"))
+        log = SingleDevice(sim, make_durassd(sim,
+                                             capacity_bytes=2 * units.MIB,
+                                             name="log0"))
+        volume = PlacementVolume({"data": data, "log": log})
+        fs = FileSystem(sim, volume, barriers=True)
+        table = fs.create("table", units.MIB)
+        redo = fs.create("redo", 256 * units.KIB, placement="log")
+        log_base, log_len = volume.region("log")
+        assert log_base <= redo.base_lba < log_base + log_len
+        assert table.base_lba + table.nblocks <= log_base
+
+        def work():
+            yield from fs.pwrite(redo, 0, ["r0"])
+            yield from fs.fdatasync(redo)
+
+        run_process(sim, work())
+        assert log.device.counters["writes"] >= 1
+        assert data.device.counters["writes"] == 0
+
+
+class TestOpenDsyncRegression:
+    def test_plain_open_does_not_strip_creator_flag(self, sim):
+        """Regression: ``open(name)`` used to overwrite the shared
+        handle's ``o_dsync``, silently turning off the creator's
+        write-through semantics."""
+        fs = FileSystem(sim, make_durassd(sim))
+        handle = fs.create("wal", units.MIB, o_dsync=True)
+        view = fs.open("wal")
+        assert handle.o_dsync is True
+        assert view.o_dsync is False
+
+    def test_matching_open_returns_the_shared_handle(self, sim):
+        fs = FileSystem(sim, make_durassd(sim))
+        handle = fs.create("wal", units.MIB, o_dsync=True)
+        assert fs.open("wal", o_dsync=True) is handle
+
+    def test_views_share_file_state(self, sim):
+        fs = FileSystem(sim, make_durassd(sim))
+        handle = fs.create("log", units.MIB)
+        view = fs.open("log", o_dsync=True)
+
+        def work():
+            yield from fs.append(view, ["a", "b"])
+
+        run_process(sim, work())
+        assert handle.size_blocks == 2
+        assert view.size_blocks == 2
+        assert view.lba_of(0) == handle.lba_of(0)
+
+
+class TestStripedFailures:
+    def test_power_cut_on_a_stripe_checks_clean(self):
+        """A width-2 durable-cache array survives a mid-stream power cut
+        with zero invariant violations (one sampled cut point; the full
+        sweep runs in the torture smoke)."""
+        scenario = TortureScenario(engine="innodb", device="durassd",
+                                   ops=25, seed=3, stripe=2)
+        recording = record(scenario)
+        assert recording.ack_times
+        cut = recording.ack_times[len(recording.ack_times) // 2]
+        trial = run_trial(scenario, recording.ops, cut)
+        assert trial.violations == []
+
+    def test_single_member_gray_fault_keeps_the_array_clean(self):
+        """Gray faults on one stripe member: the stream completes (host
+        retries around the sick member) and recovery checks clean — the
+        healthy members' invariants hold throughout."""
+        scenario = chaos.chaos_scenario(profile="gc-storm", seed=3, ops=30,
+                                        stripe=2, gray_target="data:1")
+        result = chaos.run_chaos(scenario)
+        assert result.completed
+        assert result.clean
