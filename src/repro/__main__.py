@@ -20,6 +20,9 @@ Usage::
     python -m repro scaling                         # stripe-width sweep
     python -m repro figure5 --devices 4             # any bench, striped data
     python -m repro table5 --log-device             # dedicated log placement
+
+    python -m repro explain linkbench               # latency blame report
+    python -m repro regress                         # perf gate vs baseline
 """
 
 import sys
@@ -29,8 +32,10 @@ from .bench import (
     atomicity,
     bursts,
     chaos,
+    explain,
     figure5,
     figure6,
+    regress,
     scaling,
     setups,
     table1,
@@ -84,6 +89,10 @@ def main(argv=None):
         return chaos.main(argv[1:])
     if target == "scaling":
         return scaling.main(argv[1:])
+    if target == "explain":
+        return explain.main(argv[1:])
+    if target == "regress":
+        return regress.main(argv[1:])
     if "--gray-faults" in argv:
         # Run any bench table with gray faults injected into its devices
         # (and the timeout/abort/retry stack armed to survive them).

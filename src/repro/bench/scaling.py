@@ -75,7 +75,8 @@ def run_width(width, barriers, clients=CLIENTS, ops_per_client=None):
     data_target, _members = setups.make_data_target(
         sim, DEVICE_KIND, int(db_bytes * 2.5), width=width)
     log_device = setups.make_device(
-        sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4))
+        sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4),
+        name="%s.log" % DEVICE_KIND)
     data_fs = FileSystem(sim, data_target, barriers=barriers)
     log_fs = FileSystem(sim, log_device, barriers=barriers)
     config = InnoDBConfig(page_size=PAGE_SIZE,
@@ -124,7 +125,8 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
         data_target, _members = setups.make_data_target(
             sim, DEVICE_KIND, data_bytes, width=width)
         log_device = setups.make_device(sim, DEVICE_KIND,
-                                        capacity_bytes=log_bytes)
+                                        capacity_bytes=log_bytes,
+                                        name="%s.log" % DEVICE_KIND)
         data_fs = FileSystem(sim, data_target, barriers=barriers)
         log_fs = FileSystem(sim, log_device, barriers=barriers)
     config = InnoDBConfig(page_size=PAGE_SIZE,

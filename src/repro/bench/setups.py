@@ -168,8 +168,11 @@ def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
     policy = gray_timeout_policy()
     data_target, data_devices = make_data_target(
         sim, device_kind, int(db_bytes * 2.5), timeout_policy=policy)
+    # The log drive gets a distinct name: probes identify instances by
+    # their device attr, so two same-kind drives must not collide.
     log_device = make_device(sim, device_kind,
-                             capacity_bytes=max(units.GIB, db_bytes // 4))
+                             capacity_bytes=max(units.GIB, db_bytes // 4),
+                             name="%s.log" % device_kind)
     data_fs = FileSystem(sim, data_target, barriers=barriers,
                          timeout_policy=policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
@@ -189,7 +192,8 @@ def commercial_setup(sim, page_size, barriers, buffer_gb=2,
     data_target, data_devices = make_data_target(
         sim, device_kind, int(db_bytes * 2.5), timeout_policy=policy)
     log_device = make_device(sim, device_kind,
-                             capacity_bytes=max(units.GIB, db_bytes // 4))
+                             capacity_bytes=max(units.GIB, db_bytes // 4),
+                             name="%s.log" % device_kind)
     data_fs = FileSystem(sim, data_target, barriers=barriers,
                          coalesce_barriers=True, timeout_policy=policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,

@@ -111,7 +111,8 @@ class BufferPool:
                 return frame
             inflight = self._inflight_reads.get(key)
             if inflight is not None:
-                yield inflight
+                with self.sim.telemetry.span("bp.read_wait", "db"):
+                    yield inflight
                 continue  # re-check: it should be resident now
             return (yield from self._read_in(key, reader))
 
@@ -147,7 +148,9 @@ class BufferPool:
                 continue  # the eviction freed a frame; claim it
             # Everything is pinned or in flux: brief wait, then retry.
             self.stats["free_waits"] += 1
-            yield self.sim.timeout(100e-6)
+            with self.sim.telemetry.span("bp.evict_wait", "db",
+                                         reason="free-wait"):
+                yield self.sim.timeout(100e-6)
 
     def _evict_one(self):
         """Evict the coldest unpinned frame; flush it first if dirty.
@@ -167,7 +170,9 @@ class BufferPool:
             # each paying a full double-write cycle.
             self.stats["reads_blocked_by_write"] += 1
             if self._eviction_flush_gate is not None:
-                yield self._eviction_flush_gate
+                with self.sim.telemetry.span("bp.evict_wait", "db",
+                                             reason="join-batch"):
+                    yield self._eviction_flush_gate
                 return False  # retry: the batch freed frames
             if self._flush_batch is not None:
                 yield from self._run_eviction_batch(victim)
@@ -175,7 +180,9 @@ class BufferPool:
             victim.pin_count += 1  # nobody else may steal it mid-flush
             try:
                 flush_version = victim.version
-                yield from self._flush_page(victim.key, flush_version)
+                with self.sim.telemetry.span("bp.evict_wait", "db",
+                                             reason="flush-victim"):
+                    yield from self._flush_page(victim.key, flush_version)
             finally:
                 victim.pin_count -= 1
             if victim.version == flush_version:

@@ -144,8 +144,12 @@ class InnoDBEngine:
 
         def reader():
             version = yield from self.pagestore.read_page(space_id, page_no)
-            yield self.sim.timeout(self.config.page_size / units.KIB
-                                   * self.config.miss_cpu_per_kib)
+            # The post-read CPU slice (checksum, frame init) is its own
+            # span so attribution books it as cpu, not buffer-pool wait.
+            with self.sim.telemetry.span("bp.read_in", "db",
+                                         page=page_no):
+                yield self.sim.timeout(self.config.page_size / units.KIB
+                                       * self.config.miss_cpu_per_kib)
             return 0 if version is None else version
 
         frame = yield from self.pool.fetch(key, reader)
@@ -213,7 +217,9 @@ class InnoDBEngine:
                                            reason=reason)
                 raise AdmissionBackpressureError("innodb", reason)
             self.degradation.counters["admission_waits"] += 1
-            yield self.sim.timeout(config.cleaner_interval)
+            with self.sim.telemetry.span("db.admission_wait", "db",
+                                         reason=reason):
+                yield self.sim.timeout(config.cleaner_interval)
             waited += config.cleaner_interval
             reason = blocked()
 

@@ -85,7 +85,9 @@ class LockManager:
         self._waiting_on[txn_id] = key
         self.counters["waits"] += 1
         try:
-            yield event
+            with self.sim.telemetry.span("lock.wait", "db",
+                                         key=str(key)):
+                yield event
         finally:
             self._waiting_on.pop(txn_id, None)
 

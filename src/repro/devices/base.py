@@ -188,13 +188,22 @@ class StorageDevice:
             self._inflight.pop(process, None)
 
     def _entry_gate(self):
-        """Hold a fresh command while a reset or a flush barrier is up."""
+        """Hold a fresh command while a reset or a flush barrier is up.
+
+        The two waits get distinct spans because they blame differently:
+        a reset hold is gray-failure fallout, a flush-barrier hold is the
+        paper's reads-stall-behind-flush-cache effect.
+        """
         while True:
-            gate = self._resetting if self._resetting is not None \
-                else self._flush_barrier
-            if gate is None:
+            if self._resetting is not None:
+                gate, wait_name = self._resetting, "dev.reset_wait"
+            elif self._flush_barrier is not None:
+                gate, wait_name = self._flush_barrier, "dev.barrier_wait"
+            else:
                 return
-            yield gate
+            with self.sim.telemetry.span(wait_name, "device",
+                                         device=self.name):
+                yield gate
             if not self.powered:
                 raise PowerFailedError(self.name)
 
@@ -209,18 +218,23 @@ class StorageDevice:
         model = self.gray_faults
         if model is None:
             return
+        telemetry = self.sim.telemetry
         hold = model.hold_remaining(self.sim.now)
         while hold > 0.0:
-            if hold == math.inf:
-                yield self.sim.event()  # hung: only an abort returns
-                raise PowerFailedError(self.name)  # pragma: no cover
-            yield self.sim.timeout(hold)
+            with telemetry.span("dev.fault_delay", "device",
+                                device=self.name, op=op, kind="hold"):
+                if hold == math.inf:
+                    yield self.sim.event()  # hung: only an abort returns
+                    raise PowerFailedError(self.name)  # pragma: no cover
+                yield self.sim.timeout(hold)
             if not self.powered:
                 raise PowerFailedError(self.name)
             hold = model.hold_remaining(self.sim.now)
         delay = model.command_delay(op, self.sim.now)
         if delay > 0.0:
-            yield self.sim.timeout(delay)
+            with telemetry.span("dev.fault_delay", "device",
+                                device=self.name, op=op, kind="delay"):
+                yield self.sim.timeout(delay)
             if not self.powered:
                 raise PowerFailedError(self.name)
 

@@ -133,55 +133,73 @@ class CommandLifecycle:
     # --- the escalation ladder -------------------------------------------
     def _run(self, start, op, lba):
         policy = self.policy
+        telemetry = self.sim.telemetry
         attempt = 0
         while True:
             attempt += 1
-            service = start()
-            timer = self.sim.timeout(policy.deadline)
-            timed_out = False
-            try:
-                index, value = yield self.sim.any_of([service, timer])
-            except Interrupted as exc:
-                if not (service.triggered and service.value is exc):
-                    # This dispatch process itself was interrupted (host
-                    # cancel): unwind, do not retry.
-                    raise
-                # Aborted underneath us: a reset initiated by another
-                # command's lifecycle swept this one along.  The reset is
-                # already happening — join it and retry without our own.
-                self.counters["swept"] += 1
-                yield from self._join_reset()
-            else:
-                if index == 0:
-                    return value
-                timed_out = True
-            if timed_out:
-                if service.triggered and service.ok:
-                    # Completed at the very deadline instant, after the
-                    # timer: not a timeout, take the result.
-                    return service.value
-                self.counters["timeouts"] += 1
-                self.sim.telemetry.instant("host.timeout", "host",
-                                           device=self.device.name, op=op,
-                                           lba=lba, attempt=attempt)
-                if self.device.abort_command(service, cause="deadline"):
-                    self.counters["aborts"] += 1
-                self.counters["resets"] += 1
-                yield from self.device.soft_reset()
-                if service.triggered and service.ok:
-                    # The completion raced the abort and won.
-                    return service.value
+            # The attempt span is the attribution anchor for one trip
+            # down the ladder: the spawned service process inherits it,
+            # so device spans hang under it, and the reset leg below is
+            # its sibling child — blame stays exact under retries.
+            with telemetry.span("lifecycle.attempt", "host",
+                                device=self.device.name, op=op,
+                                attempt=attempt):
+                service = start()
+                timer = self.sim.timeout(policy.deadline)
+                timed_out = False
+                try:
+                    index, value = yield self.sim.any_of([service, timer])
+                except Interrupted as exc:
+                    if not (service.triggered and service.value is exc):
+                        # This dispatch process itself was interrupted
+                        # (host cancel): unwind, do not retry.
+                        raise
+                    # Aborted underneath us: a reset initiated by another
+                    # command's lifecycle swept this one along.  The
+                    # reset is already happening — join it and retry
+                    # without our own.
+                    self.counters["swept"] += 1
+                    yield from self._join_reset()
+                else:
+                    if index == 0:
+                        return value
+                    timed_out = True
+                if timed_out:
+                    if service.triggered and service.ok:
+                        # Completed at the very deadline instant, after
+                        # the timer: not a timeout, take the result.
+                        return service.value
+                    self.counters["timeouts"] += 1
+                    telemetry.instant("host.timeout", "host",
+                                      device=self.device.name, op=op,
+                                      lba=lba, attempt=attempt)
+                    if self.device.abort_command(service, cause="deadline"):
+                        self.counters["aborts"] += 1
+                    self.counters["resets"] += 1
+                    with telemetry.span("lifecycle.reset", "host",
+                                        device=self.device.name, op=op,
+                                        attempt=attempt):
+                        yield from self.device.soft_reset()
+                    if service.triggered and service.ok:
+                        # The completion raced the abort and won.
+                        return service.value
             if attempt >= policy.max_attempts:
                 self.counters["escalations"] += 1
-                self.sim.telemetry.instant("host.escalate", "host",
-                                           device=self.device.name, op=op,
-                                           lba=lba, attempts=attempt)
+                telemetry.instant("host.escalate", "host",
+                                  device=self.device.name, op=op,
+                                  lba=lba, attempts=attempt)
                 raise DeviceTimeoutError(self.device.name, op, attempt)
-            yield self.sim.timeout(policy.backoff(attempt, self._rng))
+            with telemetry.span("lifecycle.backoff", "host",
+                                device=self.device.name, op=op,
+                                attempt=attempt):
+                yield self.sim.timeout(policy.backoff(attempt, self._rng))
             self.counters["retries"] += 1
 
     def _join_reset(self):
         """Wait out a reset another lifecycle is driving, if any."""
         gate = self.device._resetting
         if gate is not None:
-            yield gate
+            with self.sim.telemetry.span("lifecycle.reset", "host",
+                                         device=self.device.name,
+                                         joined=True):
+                yield gate

@@ -48,7 +48,8 @@ class CommandQueue:
 
     def _dispatch(self, request):
         with self.sim.telemetry.span("ncq.slot", "host", op=request.op,
-                                     lba=request.lba) as span:
+                                     lba=request.lba,
+                                     device=self.device.name) as span:
             if not self.ordered and self._rng is not None \
                     and self.reorder_window > 1:
                 # An unordered queue may sit on a command briefly while

@@ -64,8 +64,14 @@ class LatencyRecorder:
         if not self._samples:
             return 0.0
         ordered = self.sorted_samples()
-        rank = max(1, math.ceil(fraction * len(ordered)))
-        return ordered[rank - 1]
+        # Float products like 0.1 * 30 land a hair above the true rank
+        # boundary (3.0000000000000004), so a naive ceil over-reports
+        # the percentile by a whole rank at small sample counts.  The
+        # epsilon recovers the decimal intent; exact-rational ceil of
+        # the *float* would be worse (0.9 converts above 9/10, making
+        # p90 of ten samples the maximum).
+        rank = math.ceil(fraction * len(ordered) - 1e-9)
+        return ordered[min(max(rank, 1), len(ordered)) - 1]
 
     def summary(self):
         """Dict with the paper's Table 3 columns (seconds)."""

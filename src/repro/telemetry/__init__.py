@@ -38,6 +38,12 @@ Quick start::
     print(tel.render_summary())
 """
 
+from .attribution import (
+    CATEGORIES,
+    BlameTable,
+    SpanIndex,
+    attribute_requests,
+)
 from .export import (
     chrome_trace_events,
     render_flamegraph,
@@ -50,10 +56,14 @@ from .probes import Probe
 from .validate import validate_chrome_trace, validate_trace_file
 
 __all__ = [
+    "CATEGORIES",
+    "BlameTable",
     "NULL_SPAN",
     "Probe",
     "Span",
+    "SpanIndex",
     "Telemetry",
+    "attribute_requests",
     "chrome_trace_events",
     "render_flamegraph",
     "render_summary",

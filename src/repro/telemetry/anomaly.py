@@ -1,0 +1,206 @@
+"""Anomaly episodes: correlate blame spikes with the probe catalog.
+
+A single slow request is a timeline; a *cluster* of slow requests is
+usually one device-level episode — a flush convoy, a GC storm, a full
+write cache flow-controlling admissions, or a gray-failure degraded
+window.  This module scans the trace on a fixed window grid, scores
+each window per episode kind from the spans/instants that land in it,
+merges hot adjacent windows into episodes, corroborates each episode
+with the probe time-series (``ftl.gc_runs``, ``device.cache_occupancy``,
+``ncq.depth``, ...), and tags the requests whose lifetime overlaps one.
+"""
+
+#: episode kinds -> the span names whose presence scores a window
+EPISODE_SPANS = {
+    "flush_convoy": ("dev.flush_cache", "flush.drain", "fs.barrier"),
+    "gc_storm": ("ftl.gc",),
+    "cache_backpressure": ("cache.stall",),
+    "degraded_mode": ("lifecycle.reset", "lifecycle.backoff",
+                      "dev.fault_delay"),
+}
+
+#: episode kinds -> instant names that also score a window
+EPISODE_INSTANTS = {
+    "degraded_mode": ("host.timeout", "host.escalate", "dev.abort",
+                      "dev.reset"),
+}
+
+#: minimum per-window hits before a window is considered hot
+THRESHOLDS = {
+    "flush_convoy": 3,
+    "gc_storm": 1,
+    "cache_backpressure": 1,
+    "degraded_mode": 1,
+}
+
+#: probes whose min/max over the episode window corroborate the story
+EPISODE_PROBES = {
+    "flush_convoy": ("device.cache_occupancy", "ncq.depth"),
+    "gc_storm": ("ftl.gc_runs", "ftl.free_blocks"),
+    "cache_backpressure": ("device.cache_occupancy",
+                           "wal.checkpoint_pressure"),
+    "degraded_mode": ("host.inflight_age_max", "ncq.depth"),
+}
+
+#: window count across the trace (window width adapts to trace length)
+GRID = 200
+
+#: when more than this fraction of windows clears the static threshold,
+#: the activity is workload background (flush-cache mode barriers on
+#: every group commit), not an anomaly — keep only episodes whose
+#: accumulated hits reach BACKGROUND_FACTOR x the median episode, i.e.
+#: genuine pile-ups that run across many consecutive windows
+BACKGROUND_FRACTION = 0.2
+BACKGROUND_FACTOR = 3
+
+
+class Episode:
+    """One detected anomaly window ``[start, end)`` of a given kind."""
+
+    __slots__ = ("kind", "start", "end", "hits", "probes")
+
+    def __init__(self, kind, start, end, hits):
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.hits = hits
+        self.probes = {}
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def overlaps(self, start, end):
+        return start < self.end and end > self.start
+
+    def as_dict(self):
+        return {"kind": self.kind, "start_s": self.start,
+                "end_s": self.end, "hits": self.hits,
+                "probes": self.probes}
+
+    def __repr__(self):
+        return "<Episode %s %.4f..%.4f hits=%d>" % (
+            self.kind, self.start, self.end, self.hits)
+
+
+def _trace_extent(events):
+    lo, hi = None, 0.0
+    for event in events:
+        ts = event["ts"]
+        lo = ts if lo is None else min(lo, ts)
+        hi = max(hi, ts + event.get("dur", 0.0))
+    return (0.0, 0.0) if lo is None else (lo, hi)
+
+
+def _score_windows(events, lo, width, count):
+    """Per-kind hit counts on the window grid."""
+    scores = {kind: [0] * count for kind in EPISODE_SPANS}
+    span_kind = {name: kind for kind, names in EPISODE_SPANS.items()
+                 for name in names}
+    instant_kind = {name: kind for kind, names in EPISODE_INSTANTS.items()
+                    for name in names}
+    for event in events:
+        if event["type"] == "span":
+            kind = span_kind.get(event["name"])
+        elif event["type"] == "instant":
+            kind = instant_kind.get(event["name"])
+        else:
+            continue
+        if kind is None:
+            continue
+        first = int((event["ts"] - lo) / width)
+        last = int((event["ts"] + event.get("dur", 0.0) - lo) / width)
+        for slot in range(max(0, first), min(count - 1, last) + 1):
+            scores[kind][slot] += 1
+    return scores
+
+
+def _suppress_background(episodes, hot_fraction):
+    """Drop steady-state 'episodes' when a kind is hot trace-wide.
+
+    Routine activity (a barrier per group commit) produces many short
+    episodes of similar weight; a genuine convoy runs across many
+    consecutive windows and accumulates several times the median hits.
+    Only the latter are anomalies worth reporting.
+    """
+    if hot_fraction <= BACKGROUND_FRACTION or not episodes:
+        return episodes
+    ranked = sorted(episode.hits for episode in episodes)
+    bar = BACKGROUND_FACTOR * ranked[len(ranked) // 2]
+    return [episode for episode in episodes if episode.hits >= bar]
+
+
+def _merge_hot(kind, hot, lo, width, scores):
+    """Coalesce runs of hot windows into :class:`Episode` objects."""
+    episodes = []
+    run_start = None
+    run_hits = 0
+    for slot in range(len(hot) + 1):
+        if slot < len(hot) and hot[slot]:
+            if run_start is None:
+                run_start = slot
+                run_hits = 0
+            run_hits += scores[slot]
+        elif run_start is not None:
+            episodes.append(Episode(kind, lo + run_start * width,
+                                    lo + slot * width, run_hits))
+            run_start = None
+    return episodes
+
+
+def _probe_stats(events, episode):
+    """min/max/last of corroborating probes inside the episode window."""
+    names = EPISODE_PROBES.get(episode.kind, ())
+    stats = {}
+    for event in events:
+        if event["type"] != "sample":
+            continue
+        base = event["name"].split("#", 1)[0]
+        if base not in names:
+            continue
+        if not episode.start <= event["ts"] < episode.end:
+            continue
+        value = event["value"]
+        record = stats.setdefault(event["name"],
+                                  {"min": value, "max": value})
+        record["min"] = min(record["min"], value)
+        record["max"] = max(record["max"], value)
+    return stats
+
+
+def detect(events, grid=GRID):
+    """Find anomaly episodes in an event stream.
+
+    Returns episodes sorted by start time (ties by kind).  The window
+    width is ``trace_extent / grid`` so detection adapts to run length.
+    """
+    lo, hi = _trace_extent(events)
+    if hi <= lo:
+        return []
+    width = (hi - lo) / grid
+    scores = _score_windows(events, lo, width, grid)
+    episodes = []
+    for kind in sorted(EPISODE_SPANS):
+        hot = [count >= THRESHOLDS[kind] for count in scores[kind]]
+        merged = _merge_hot(kind, hot, lo, width, scores[kind])
+        episodes.extend(_suppress_background(merged,
+                                             sum(hot) / len(hot)))
+    for episode in episodes:
+        episode.probes = _probe_stats(events, episode)
+    episodes.sort(key=lambda e: (e.start, e.kind))
+    return episodes
+
+
+def tag_requests(requests, episodes):
+    """Append episode kinds to each request's ``tags`` when the request's
+    lifetime overlaps the episode.  Returns the tagged-request count."""
+    tagged = 0
+    for request in requests:
+        before = len(request.tags)
+        for episode in episodes:
+            if episode.overlaps(request.start, request.end) \
+                    and episode.kind not in request.tags:
+                request.tags.append(episode.kind)
+        if len(request.tags) > before:
+            tagged += 1
+    return tagged

@@ -1,0 +1,319 @@
+"""Tail-latency attribution: exact blame decomposition of span trees.
+
+The telemetry hub records *what happened*; this module answers *why a
+request was slow*.  For every completed request span it partitions the
+request's end-to-end latency into exclusive blame categories — database
+lock waits, WAL fsync, doublewrite traffic, buffer-pool eviction, NCQ
+queueing, flush-cache drains, NAND programs/reads, GC stalls, gray-fault
+retry/reset — such that the categories **sum exactly to the wall time**.
+No sampling, no heuristics: the decomposition is a partition of the
+request interval, so the only unexplained time is what genuinely has no
+span covering it (the explicit ``other`` bucket).
+
+The partition rule
+------------------
+Walk the request's span subtree recursively.  Inside a span's interval,
+children (clipped to the parent, sorted by start time then span id)
+claim their intervals **first-come-first-served**: a later-starting
+child only claims time past the previous claim's end.  Whatever no
+child claims is the span's own *exclusive* time and is blamed on the
+span's category.  Concurrent children (a striped volume's fragment
+fan-out, parallel flash-lane programs) therefore collapse onto one
+deterministic chain — exactly the request's critical path, since the
+request could not finish before its longest pending child did.
+
+Categories come from :data:`SPAN_CATEGORY`; a span whose name is
+unmapped inherits the nearest mapped ancestor's category, and time
+under no mapped span at all lands in ``other``.
+"""
+
+import math
+
+#: blame categories, report order.  Keep in sync with docs/OBSERVABILITY.md.
+CATEGORIES = (
+    "cpu",          # host CPU slices: op execution, page init after a miss
+    "db_lock",      # waiting on another transaction's page lock
+    "bp_evict",     # buffer-pool eviction / read-blocked-by-write waits
+    "wal_fsync",    # group-commit queueing and redo write-out
+    "doublewrite",  # the InnoDB double-write area protocol
+    "fs_meta",      # file-system journal commits
+    "fs_syscall",   # fsync/pread/pwrite syscall + dispatch overhead
+    "ncq_queue",    # waiting for an NCQ slot / fragment fan-out joins
+    "device_io",    # command transfer, bus and controller time
+    "cache_stall",  # device write cache full: flow-control backpressure
+    "flush_cache",  # flush-cache barriers and cache drains
+    "nand",         # NAND program/read time (incl. the device flusher)
+    "gc",           # FTL garbage-collection stalls
+    "gray_fault",   # gray-failure holds, timeouts, resets, retry backoff
+    "other",        # time no categorised span covers
+)
+
+#: span name -> blame category.  Names absent here inherit their nearest
+#: mapped ancestor's category (``other`` at the root).
+SPAN_CATEGORY = {
+    "op.cpu": "cpu",
+    "bp.read_in": "cpu",
+    "lock.wait": "db_lock",
+    "db.admission_wait": "bp_evict",
+    "bp.evict_wait": "bp_evict",
+    "bp.read_wait": "bp_evict",
+    "bp.flush_batch": "bp_evict",
+    "bp.checkpoint": "bp_evict",
+    "wal.flush_to": "wal_fsync",
+    "wal.write_out": "wal_fsync",
+    "dwb.flush": "doublewrite",
+    "fs.journal_commit": "fs_meta",
+    "fs.fsync": "fs_syscall",
+    "fs.fdatasync": "fs_syscall",
+    "fs.pwrite": "fs_syscall",
+    "fs.pread": "fs_syscall",
+    "ncq.slot": "ncq_queue",
+    "vol.submit": "ncq_queue",
+    "vol.flush": "ncq_queue",
+    "dev.read": "device_io",
+    "dev.write": "device_io",
+    "cache.stall": "cache_stall",
+    "fs.barrier": "flush_cache",
+    "dev.flush_cache": "flush_cache",
+    "flush.drain": "flush_cache",
+    "flusher.batch": "nand",
+    "ftl.write_slots": "nand",
+    "flash.program": "nand",
+    "flash.read": "nand",
+    "ftl.gc": "gc",
+    "dev.fault_delay": "gray_fault",
+    "dev.reset_wait": "gray_fault",
+    "dev.barrier_wait": "flush_cache",
+    "lifecycle.reset": "gray_fault",
+    "lifecycle.backoff": "gray_fault",
+}
+
+
+def category_of(name):
+    """The blame category for a span name, or None if unmapped."""
+    return SPAN_CATEGORY.get(name)
+
+
+class Segment:
+    """One piece of a request's timeline: ``[start, end)`` blamed on
+    ``category``, owned by span ``span`` (an event dict)."""
+
+    __slots__ = ("start", "end", "category", "span", "depth")
+
+    def __init__(self, start, end, category, span, depth):
+        self.start = start
+        self.end = end
+        self.category = category
+        self.span = span
+        self.depth = depth
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def __repr__(self):
+        return "<Segment %.6f..%.6f %s %s>" % (
+            self.start, self.end, self.category,
+            self.span["name"] if self.span else None)
+
+
+class SpanIndex:
+    """Parent/child index over a hub's recorded events."""
+
+    def __init__(self, events):
+        self.spans = [e for e in events if e["type"] == "span"]
+        self.instants = [e for e in events if e["type"] == "instant"]
+        self.by_id = {e["id"]: e for e in self.spans}
+        self.children = {}
+        for event in self.spans:
+            parent = event["parent"]
+            if parent is not None and parent in self.by_id:
+                self.children.setdefault(parent, []).append(event)
+        # Deterministic claim order: by start time, ties by span id.
+        for kids in self.children.values():
+            kids.sort(key=lambda e: (e["ts"], e["id"]))
+
+    def children_of(self, span):
+        return self.children.get(span["id"], ())
+
+    def roots(self, track="workload"):
+        """Top-level request spans: spans on ``track`` whose parent is
+        not itself a recorded span (spawner roots)."""
+        return [e for e in self.spans
+                if (track is None or e["track"] == track)
+                and (e["parent"] is None or e["parent"] not in self.by_id)]
+
+
+def decompose(span, index, _lo=None, _hi=None, _category=None, _depth=0,
+              _out=None):
+    """Partition ``span``'s interval into blame :class:`Segment`\\ s.
+
+    Returns the segment list, ordered by time; segment durations sum to
+    ``span['dur']`` exactly (same floating-point additions both ways —
+    this is asserted by the report layer, not rounded into truth).
+    """
+    out = [] if _out is None else _out
+    lo = span["ts"] if _lo is None else _lo
+    hi = span["ts"] + span["dur"] if _hi is None else _hi
+    category = category_of(span["name"]) or _category or "other"
+    cursor = lo
+    for child in index.children_of(span):
+        child_lo = max(child["ts"], cursor)
+        child_hi = min(child["ts"] + child["dur"], hi)
+        if child_hi <= child_lo:
+            continue  # fully shadowed by an earlier sibling, or clipped
+        if child_lo > cursor:
+            out.append(Segment(cursor, child_lo, category, span, _depth))
+        decompose(child, index, child_lo, child_hi, category, _depth + 1,
+                  out)
+        cursor = child_hi
+    if cursor < hi:
+        out.append(Segment(cursor, hi, category, span, _depth))
+    return out
+
+
+def blame(span, index):
+    """``{category: seconds}`` for one request span; values sum to the
+    span's duration exactly (same additions, no residue)."""
+    totals = dict.fromkeys(CATEGORIES, 0.0)
+    for segment in decompose(span, index):
+        totals[segment.category] += segment.duration
+    return totals
+
+
+class RequestBlame:
+    """One completed request with its blame decomposition."""
+
+    __slots__ = ("span", "blame", "tags")
+
+    def __init__(self, span, blame_totals):
+        self.span = span
+        self.blame = blame_totals
+        self.tags = []
+
+    @property
+    def name(self):
+        return self.span["name"]
+
+    @property
+    def start(self):
+        return self.span["ts"]
+
+    @property
+    def duration(self):
+        return self.span["dur"]
+
+    @property
+    def end(self):
+        return self.span["ts"] + self.span["dur"]
+
+    def residue(self):
+        """Blame sum minus wall time — zero up to float associativity."""
+        return math.fsum(self.blame.values()) - self.duration
+
+
+def attribute_requests(events, track="workload", name_prefix=None):
+    """Decompose every completed request in an event stream.
+
+    Returns ``(index, [RequestBlame, ...])`` in completion order.
+    ``name_prefix`` filters roots (e.g. ``"op."`` for LinkBench
+    transactions only).
+    """
+    index = SpanIndex(events)
+    requests = []
+    for root in index.roots(track):
+        if name_prefix is not None \
+                and not root["name"].startswith(name_prefix):
+            continue
+        requests.append(RequestBlame(root, blame(root, index)))
+    return index, requests
+
+
+# --- aggregation --------------------------------------------------------
+def _percentile(ordered, fraction):
+    """Nearest-rank percentile over an ascending list (float-safe,
+    same convention as :meth:`repro.sim.stats.LatencyRecorder
+    .percentile`)."""
+    if not ordered:
+        return 0.0
+    rank = math.ceil(fraction * len(ordered) - 1e-9)
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+
+class BlameTable:
+    """Aggregate blame across requests: totals, shares, percentiles and
+    log-spaced histograms per category."""
+
+    #: histogram bucket edges: powers of 10 from 1µs, 4 buckets/decade
+    HISTOGRAM_EDGES = [10 ** (exp / 4.0) * 1e-6 for exp in range(28)]
+
+    def __init__(self, requests):
+        self.requests = list(requests)
+        self.per_cause = {cat: sorted(r.blame[cat] for r in self.requests)
+                          for cat in CATEGORIES}
+        self.latencies = sorted(r.duration for r in self.requests)
+        self.wall = math.fsum(self.latencies)
+
+    @property
+    def count(self):
+        return len(self.requests)
+
+    def total(self, category):
+        return math.fsum(self.per_cause[category])
+
+    def share(self, category):
+        return self.total(category) / self.wall if self.wall else 0.0
+
+    def percentiles(self, category):
+        ordered = self.per_cause[category]
+        return {"p50": _percentile(ordered, 0.50),
+                "p99": _percentile(ordered, 0.99),
+                "p999": _percentile(ordered, 0.999)}
+
+    def histogram(self, category):
+        """``[count per bucket]`` over :data:`HISTOGRAM_EDGES` (last
+        bucket catches everything beyond the top edge); zero-valued
+        samples are not bucketed."""
+        edges = self.HISTOGRAM_EDGES
+        counts = [0] * (len(edges) + 1)
+        for value in self.per_cause[category]:
+            if value <= 0.0:
+                continue
+            lo, hi = 0, len(edges)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if value < edges[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            counts[lo] += 1
+        return counts
+
+    def latency_percentiles(self):
+        return {"p50": _percentile(self.latencies, 0.50),
+                "p99": _percentile(self.latencies, 0.99),
+                "p999": _percentile(self.latencies, 0.999)}
+
+    def rows(self):
+        """Per-category report rows, largest total first, zeros dropped."""
+        rows = []
+        for category in CATEGORIES:
+            total = self.total(category)
+            if total <= 0.0 and category != "other":
+                continue
+            row = {"category": category, "total_s": total,
+                   "share": self.share(category)}
+            row.update(self.percentiles(category))
+            rows.append(row)
+        rows.sort(key=lambda r: (-r["total_s"], r["category"]))
+        return rows
+
+    def as_dict(self):
+        return {
+            "requests": self.count,
+            "wall_s": self.wall,
+            "latency": self.latency_percentiles(),
+            "causes": self.rows(),
+            "histograms": {cat: self.histogram(cat) for cat in CATEGORIES
+                           if self.total(cat) > 0.0},
+        }

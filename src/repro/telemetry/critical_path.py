@@ -1,0 +1,111 @@
+"""Critical-path extraction: print *one* tail request as a timeline.
+
+Aggregate blame tables say where a workload's time went; a tail
+investigation needs the opposite view — the single slowest requests,
+each unrolled into the chain of spans that actually gated completion.
+The chain is the same first-claim-wins partition attribution uses
+(:func:`repro.telemetry.attribution.decompose`), so the printed
+segments sum to the request's wall time and agree with the blame table.
+"""
+
+from .attribution import decompose
+
+
+def critical_chain(request, index):
+    """The gating span chain for a request: follow, from the root, the
+    child that claims the most time in the partition.  Returns a list of
+    ``(span, claimed_seconds)`` from root to leaf."""
+    claimed = {}
+    for segment in decompose(request.span, index):
+        span = segment.span
+        while span is not None:
+            key = span["id"]
+            claimed[key] = claimed.get(key, 0.0) + segment.duration
+            span = index.by_id.get(span["parent"])
+    chain = []
+    span = request.span
+    while span is not None:
+        chain.append((span, claimed.get(span["id"], 0.0)))
+        kids = [k for k in index.children_of(span)
+                if claimed.get(k["id"], 0.0) > 0.0]
+        if not kids:
+            break
+        span = max(kids, key=lambda k: (claimed[k["id"]], -k["id"]))
+    return chain
+
+
+def timeline(request, index):
+    """The request's ordered blame segments (the exact partition)."""
+    return decompose(request.span, index)
+
+
+def slowest(requests, k=5):
+    """Top-``k`` requests by duration, slowest first; completion order
+    breaks ties so the pick is deterministic."""
+    ranked = sorted(enumerate(requests),
+                    key=lambda pair: (-pair[1].duration, pair[0]))
+    return [request for _i, request in ranked[:k]]
+
+
+def _format_attrs(span):
+    attrs = span.get("attrs")
+    if not attrs:
+        return ""
+    return " " + " ".join("%s=%s" % (key, attrs[key])
+                          for key in sorted(attrs))
+
+
+def render_timeline(request, index, min_share=0.005):
+    """Human-readable annotated timeline for one request.
+
+    Offsets are relative to the request start; segments shorter than
+    ``min_share`` of the request are folded into a trailing note so the
+    tail story stays readable.
+    """
+    lines = ["%s  start=%.6fs  latency=%.3fms%s"
+             % (request.name, request.start, request.duration * 1e3,
+                _format_attrs(request.span))]
+    folded = 0.0
+    folded_count = 0
+    for segment in timeline(request, index):
+        if segment.duration < request.duration * min_share:
+            folded += segment.duration
+            folded_count += 1
+            continue
+        span = segment.span
+        lines.append(
+            "  +%8.3fms %8.3fms  %-12s %s%s"
+            % ((segment.start - request.start) * 1e3,
+               segment.duration * 1e3, segment.category,
+               "  " * segment.depth + span["name"], _format_attrs(span)))
+    if folded_count:
+        lines.append("  (+%d segments under %.1f%% each, %.3fms total)"
+                     % (folded_count, min_share * 100, folded * 1e3))
+    chain = critical_chain(request, index)
+    lines.append("  critical chain: "
+                 + " > ".join("%s(%.2fms)" % (span["name"], secs * 1e3)
+                              for span, secs in chain if secs > 0.0))
+    return "\n".join(lines)
+
+
+def timeline_dict(request, index):
+    """JSON-ready record for one tail request."""
+    segments = [{
+        "at_s": segment.start - request.start,
+        "dur_s": segment.duration,
+        "category": segment.category,
+        "span": segment.span["name"],
+        "depth": segment.depth,
+        "attrs": segment.span.get("attrs") or {},
+    } for segment in timeline(request, index)]
+    chain = [{"span": span["name"], "claimed_s": secs}
+             for span, secs in critical_chain(request, index)]
+    return {
+        "name": request.name,
+        "start_s": request.start,
+        "latency_s": request.duration,
+        "attrs": request.span.get("attrs") or {},
+        "tags": list(request.tags),
+        "segments": segments,
+        "critical_chain": chain,
+    }

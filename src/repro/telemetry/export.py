@@ -56,9 +56,14 @@ def chrome_trace_events(events):
                          "name": event["name"], "cat": event["track"],
                          "ts": event["ts"] * _US, "args": args})
         elif event["type"] == "sample":
+            # Counters carry the probe's instance attrs alongside the
+            # value, mirroring the raw JSONL: the ``name#N`` suffix and
+            # the ``device=<name>`` attr always travel together.
+            args = {"value": event["value"]}
+            args.update(event.get("attrs") or {})
             body.append({"ph": "C", "pid": 1, "tid": tid,
                          "name": event["name"], "ts": event["ts"] * _US,
-                         "args": {"value": event["value"]}})
+                         "args": args})
     # Begin-sorted, longest-first: gives strict-viewer-friendly nesting.
     body.sort(key=lambda e: (e["ts"], -e.get("dur", 0.0)))
     return {"traceEvents": out + body, "displayTimeUnit": "ms"}

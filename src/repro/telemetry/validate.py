@@ -1,14 +1,23 @@
-"""Schema check for exported Chrome trace_event files.
+"""Schema checks for exported telemetry artifacts.
 
-Usable as a library (``validate_chrome_trace``) or a CLI — CI's smoke
-job runs::
+Usable as a library (``validate_chrome_trace``,
+``validate_probe_attrs``, ``validate_explain_report``) or a CLI — CI's
+smoke jobs run::
 
     REPRO_QUICK=1 python -m repro trace table1 --out trace.json
     python -m repro.telemetry.validate trace.json --min-tracks 4
 
-The checks cover exactly what downstream viewers require: the JSON
-Object Format envelope, per-phase mandatory fields, non-negative
+    python -m repro explain linkbench --quick --json report.json
+    python -m repro.telemetry.validate --explain report.json
+
+The Chrome checks cover exactly what downstream viewers require: the
+JSON Object Format envelope, per-phase mandatory fields, non-negative
 durations, and (optionally) a minimum number of named layer tracks.
+Probe-attr checks enforce the instance-naming contract: a probe's
+``name#N`` suffix and its identifying attrs (``device=<name>``) travel
+together and stay consistent across every sample.  Explain-report
+checks enforce the ``repro.explain/1`` schema and the attribution
+exactness guarantee (blame sums to wall time, bounded ``other``).
 """
 
 import json
@@ -17,7 +26,8 @@ import sys
 _ALLOWED_PHASES = {"X", "i", "C", "M", "B", "E", "b", "e"}
 
 
-def validate_chrome_trace(obj, min_tracks=0, require_tracks=()):
+def validate_chrome_trace(obj, min_tracks=0, require_tracks=(),
+                          check_probe_attrs=False):
     """Validate a parsed trace object; returns a list of error strings
     (empty when the trace is valid)."""
     errors = []
@@ -63,10 +73,97 @@ def validate_chrome_trace(obj, min_tracks=0, require_tracks=()):
     if missing:
         errors.append("missing required tracks: %s (found %s)"
                       % (missing, sorted(named)))
+    if check_probe_attrs:
+        errors.extend(validate_probe_attrs(events))
     return errors
 
 
-def validate_trace_file(path, min_tracks=0, require_tracks=()):
+def validate_probe_attrs(events):
+    """Check the probe instance-naming contract over counter events.
+
+    Works on either raw hub events (``type == "sample"``, attrs under
+    ``attrs``) or Chrome counter events (``ph == "C"``, attrs in
+    ``args`` next to ``value``).  Rules:
+
+    1. every sample of one probe name carries the same attrs;
+    2. all members of a ``name``/``name#2``/... family carry the same
+       attr *keys* (one schema per probe family);
+    3. a family with several members must tell them apart by attrs
+       (``device=<name>``), never by the ``#N`` suffix alone.
+    """
+    per_name = {}
+    for event in events:
+        if event.get("type") == "sample":
+            name, attrs = event["name"], dict(event.get("attrs") or {})
+        elif event.get("ph") == "C":
+            attrs = dict(event.get("args") or {})
+            attrs.pop("value", None)
+            name = event["name"]
+        else:
+            continue
+        seen = per_name.setdefault(name, attrs)
+        if seen != attrs:
+            return ["probe %r: inconsistent attrs across samples: "
+                    "%r vs %r" % (name, seen, attrs)]
+    errors = []
+    families = {}
+    for name, attrs in per_name.items():
+        families.setdefault(name.split("#", 1)[0], []).append(
+            (name, attrs))
+    for base, members in sorted(families.items()):
+        keysets = {frozenset(attrs) for _name, attrs in members}
+        if len(keysets) > 1:
+            errors.append("probe family %r: members disagree on attr "
+                          "keys: %s"
+                          % (base, sorted(sorted(keys)
+                                          for keys in keysets)))
+            continue
+        if len(members) > 1:
+            if not next(iter(keysets)):
+                errors.append("probe family %r has %d instances but no "
+                              "identifying attrs (want device=<name>)"
+                              % (base, len(members)))
+            elif len({tuple(sorted(attrs.items()))
+                      for _name, attrs in members}) != len(members):
+                errors.append("probe family %r: two instances share "
+                              "identical attrs" % base)
+    return errors
+
+
+def validate_explain_report(report, other_budget=None):
+    """Schema + exactness checks for a ``repro.explain/1`` report."""
+    from .report import SCHEMA, check
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    errors = []
+    if report.get("schema") != SCHEMA:
+        errors.append("schema must be %r (got %r)"
+                      % (SCHEMA, report.get("schema")))
+    modes = report.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        return errors + ["report needs a non-empty 'modes' object"]
+    for label, analysis in modes.items():
+        where = "modes[%r]" % label
+        for key in ("blame", "requests", "episodes", "tail",
+                    "other_share", "max_residue_s"):
+            if key not in analysis:
+                errors.append("%s: missing %r" % (where, key))
+        blame = analysis.get("blame", {})
+        for key in ("requests", "wall_s", "latency", "causes"):
+            if key not in blame:
+                errors.append("%s.blame: missing %r" % (where, key))
+        if len(analysis.get("requests", ())) \
+                != blame.get("requests", -1):
+            errors.append("%s: request list/count mismatch" % where)
+    if errors:
+        return errors
+    kwargs = {} if other_budget is None \
+        else {"other_budget": other_budget}
+    return check(report, **kwargs)
+
+
+def validate_trace_file(path, min_tracks=0, require_tracks=(),
+                        check_probe_attrs=False):
     """Load ``path`` and validate it; returns (errors, stats dict)."""
     try:
         with open(path) as handle:
@@ -74,7 +171,8 @@ def validate_trace_file(path, min_tracks=0, require_tracks=()):
     except (OSError, ValueError) as exc:
         return ["cannot load %s: %s" % (path, exc)], {}
     errors = validate_chrome_trace(obj, min_tracks=min_tracks,
-                                   require_tracks=require_tracks)
+                                   require_tracks=require_tracks,
+                                   check_probe_attrs=check_probe_attrs)
     events = obj.get("traceEvents", []) if isinstance(obj, dict) else []
     tracks = sorted({event.get("args", {}).get("name")
                      for event in events
@@ -90,12 +188,18 @@ def main(argv=None):
     min_tracks = 0
     require = []
     paths = []
+    check_attrs = False
+    explain_mode = False
     while argv:
         arg = argv.pop(0)
         if arg == "--min-tracks":
             min_tracks = int(argv.pop(0))
         elif arg == "--require-tracks":
             require = [t for t in argv.pop(0).split(",") if t]
+        elif arg == "--check-probe-attrs":
+            check_attrs = True
+        elif arg == "--explain":
+            explain_mode = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -103,12 +207,35 @@ def main(argv=None):
             paths.append(arg)
     if not paths:
         print("usage: python -m repro.telemetry.validate TRACE.json "
-              "[--min-tracks N] [--require-tracks a,b,c]")
+              "[--min-tracks N] [--require-tracks a,b,c] "
+              "[--check-probe-attrs] | --explain REPORT.json")
         return 2
+    if explain_mode:
+        status = 0
+        for path in paths:
+            try:
+                with open(path) as handle:
+                    report = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print("%s: INVALID\n  - cannot load: %s" % (path, exc))
+                status = 1
+                continue
+            errors = validate_explain_report(report)
+            if errors:
+                status = 1
+                print("%s: INVALID" % path)
+                for error in errors:
+                    print("  - %s" % error)
+            else:
+                print("%s: OK (%s; modes: %s)"
+                      % (path, report["schema"],
+                         ", ".join(report["modes"])))
+        return status
     status = 0
     for path in paths:
         errors, stats = validate_trace_file(path, min_tracks=min_tracks,
-                                            require_tracks=require)
+                                            require_tracks=require,
+                                            check_probe_attrs=check_attrs)
         if errors:
             status = 1
             print("%s: INVALID" % path)

@@ -251,11 +251,12 @@ class LinkBenchWorkload:
                        self.config.cpu_per_page_kib)
                 with sim.telemetry.span("op." + name, "workload",
                                         client=index, node=node):
-                    yield cores.acquire()
-                    try:
-                        yield sim.timeout(cpu)
-                    finally:
-                        cores.release()
+                    with sim.telemetry.span("op.cpu", "workload"):
+                        yield cores.acquire()
+                        try:
+                            yield sim.timeout(cpu)
+                        finally:
+                            cores.release()
                     yield from self._operation(name, node)
                 if i >= warmup_ops:
                     latency = sim.now - begin

@@ -1,6 +1,11 @@
 """Unit tests for latency and throughput statistics."""
 
+import math
+from fractions import Fraction
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import CounterSet, LatencyRecorder, ThroughputMeter
 
@@ -34,6 +39,18 @@ class TestLatencyRecorder:
         assert recorder.percentile(0.01) == 7.0
         assert recorder.percentile(0.99) == 7.0
 
+    def test_small_n_float_products_do_not_shift_the_rank(self):
+        # 0.1 * 30 == 3.0000000000000004 and 0.7 * 10 == 7.000000000000001:
+        # a naive ceil lands one rank high, over-reporting the percentile.
+        recorder = LatencyRecorder()
+        recorder.extend(float(i) for i in range(1, 31))
+        assert recorder.percentile(0.1) == 3.0
+        small = LatencyRecorder()
+        small.extend(float(i) for i in range(1, 11))
+        assert small.percentile(0.3) == 3.0
+        assert small.percentile(0.7) == 7.0
+        assert small.percentile(0.9) == 9.0
+
     def test_percentile_bounds_checked(self):
         recorder = LatencyRecorder()
         with pytest.raises(ValueError):
@@ -54,6 +71,34 @@ class TestLatencyRecorder:
         assert merged.count == 3
         assert merged.mean == pytest.approx(2.0)
         assert a.count == 2  # originals untouched
+
+
+class TestPercentileProperty:
+    """The recorder matches exact-rational nearest-rank arithmetic.
+
+    The fraction is drawn as an exact rational (what a caller writing
+    ``0.99`` means) with a denominator small enough that converting it
+    through a float cannot move the product across a rank boundary; the
+    reference rank is computed with :class:`fractions.Fraction`, immune
+    to the float rounding the implementation has to guard against.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(samples=st.lists(
+               st.floats(min_value=0.0, max_value=1e4,
+                         allow_nan=False, allow_infinity=False),
+               min_size=1, max_size=400),
+           numerator=st.integers(min_value=1, max_value=1000),
+           denominator=st.integers(min_value=1, max_value=1000))
+    def test_matches_exact_nearest_rank(self, samples, numerator,
+                                        denominator):
+        exact = Fraction(min(numerator, denominator), denominator)
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        ordered = sorted(samples)
+        rank = max(1, min(len(ordered),
+                          math.ceil(exact * len(ordered))))
+        assert recorder.percentile(float(exact)) == ordered[rank - 1]
 
 
 class TestThroughputMeter:
