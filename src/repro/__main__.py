@@ -23,6 +23,9 @@ Usage::
 
     python -m repro explain linkbench               # latency blame report
     python -m repro regress                         # perf gate vs baseline
+
+    python -m repro monitor figure5                 # metrics + SLO dashboard
+    python -m repro table1 --metrics-interval 0.01  # any bench + series CSV
 """
 
 import sys
@@ -35,6 +38,7 @@ from .bench import (
     explain,
     figure5,
     figure6,
+    monitor,
     regress,
     scaling,
     setups,
@@ -71,6 +75,32 @@ ORDER = ["table1", "table2", "figure5", "figure6", "table3", "table4",
 TELEMETRY_CAPABLE = frozenset(tracing.SCENARIOS)
 
 
+def _emit_metrics(target):
+    """Export the series of every metrics-armed world a bench built
+    (``--metrics-interval``) as long-format CSV, one world column."""
+    interval = setups.metrics_interval()
+    if interval is None:
+        return
+    sims = setups.metric_sims()
+    if not sims:
+        return
+    from .telemetry import series as series_mod
+    path = "%s-metrics.csv" % target
+    lines = []
+    windows = 0
+    for index, sim in enumerate(sims):
+        registry = sim.telemetry.metrics
+        registry.finish()
+        windows += len(registry.windows)
+        chunk = series_mod.csv_lines(registry, world=index)
+        lines.extend(chunk if not lines else chunk[1:])
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    setups.set_metrics_interval(interval)  # reset the world list
+    print("\nmetrics: %d world(s), %d window(s) at %gs intervals -> %s"
+          % (len(sims), windows, interval, path))
+
+
 def main(argv=None):
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -91,6 +121,8 @@ def main(argv=None):
         return scaling.main(argv[1:])
     if target == "explain":
         return explain.main(argv[1:])
+    if target == "monitor":
+        return monitor.main(argv[1:])
     if target == "regress":
         return regress.main(argv[1:])
     if "--gray-faults" in argv:
@@ -98,6 +130,12 @@ def main(argv=None):
         # (and the timeout/abort/retry stack armed to survive them).
         index = argv.index("--gray-faults")
         setups.set_gray_faults(argv[index + 1])
+        argv = argv[:index] + argv[index + 2:]
+    if "--metrics-interval" in argv:
+        # Run any bench table with continuous windowed metrics; the
+        # collected series are exported as CSV after the run.
+        index = argv.index("--metrics-interval")
+        setups.set_metrics_interval(float(argv[index + 1]))
         argv = argv[:index] + argv[index + 2:]
     if "--devices" in argv or "--log-device" in argv:
         # Run any bench table on a striped data target and/or with the
@@ -117,6 +155,7 @@ def main(argv=None):
             print("== %s" % EXPERIMENTS[name][0])
             print("=" * 70)
             EXPERIMENTS[name][1]()
+            _emit_metrics(name)
             print()
         return 0
     if target not in EXPERIMENTS:
@@ -142,8 +181,10 @@ def main(argv=None):
               "(%d events, tracks: %s)"
               % (target, out, len(telemetry.events),
                  ", ".join(telemetry.tracks())))
+        _emit_metrics(target)
         return 0
     EXPERIMENTS[target][1]()
+    _emit_metrics(target)
     return 0
 
 

@@ -18,7 +18,7 @@ from ..devices import IORequest
 from ..devices.presets import durassd_spec
 from ..failures import PowerFailureInjector, check_device
 from ..host import FileSystem, FioJob, run_fio
-from ..sim import Simulator, units
+from ..sim import units
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 from . import setups
 from .tableio import render_table
@@ -36,7 +36,7 @@ def run_write_amplification(ops_per_client=None):
         ("OFF/OFF 4KB (best)", False, False, 4 * units.KIB),
     ]
     for label, barrier, doublewrite, page_size in cases:
-        sim = Simulator()
+        sim = setups.fresh_world()
         engine, devices = setups.mysql_setup(sim, page_size, barrier,
                                              doublewrite, buffer_gb=10)
         workload = LinkBenchWorkload(
@@ -81,7 +81,7 @@ def run_capacitor_sweep(counts=(0, 1, 2, 4, 8, 15), writes=400):
     """Acked 4KB writes lost at power failure vs capacitor count."""
     results = []
     for count in counts:
-        sim = Simulator()
+        sim = setups.fresh_world()
         bank = CapacitorBank(count=count)
         device = DuraSSD(sim, durassd_spec(), capacitors=bank)
         device.record_acks = True
@@ -123,7 +123,7 @@ def run_mapping_granularity(ios=2000):
     """Sustained 4KB random-write drain with 4KB vs 8KB mapping."""
     results = []
     for unit in (4 * units.KIB, 8 * units.KIB):
-        sim = Simulator()
+        sim = setups.fresh_world()
         spec = durassd_spec().replace(mapping_unit=unit)
         device = DuraSSD(sim, spec)
         filesystem = FileSystem(sim, device, barriers=False)
@@ -162,7 +162,7 @@ def run_flush_semantics(ios=1500):
     ]
     results = []
     for label, barriers, ordered in cases:
-        sim = Simulator()
+        sim = setups.fresh_world()
         device = setups.make_device(sim, "durassd")
         filesystem = FileSystem(sim, device, barriers=barriers,
                                 ordered_queue=ordered)
@@ -190,7 +190,7 @@ def run_victim_policies(rounds=400):
     from ..sim.rng import make_rng
     results = []
     for policy in ("greedy", "cost-benefit"):
-        sim = Simulator()
+        sim = setups.fresh_world()
         geometry = FlashGeometry(channels=2, packages_per_channel=2,
                                  chips_per_package=2, planes_per_chip=2,
                                  blocks_per_plane=8, pages_per_block=16,

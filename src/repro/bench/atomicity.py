@@ -19,7 +19,7 @@ from ..db.postgres import PostgresConfig, PostgresEngine
 from ..db.sqlite import SQLiteConfig, SQLiteEngine
 from ..devices import make_durassd, make_fusionio, make_ssd_a
 from ..host import FileSystem
-from ..sim import Simulator, units
+from ..sim import units
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 from . import setups
 from .tableio import render_table
@@ -39,7 +39,7 @@ def _linkbench_tps(engine, data_device, ops):
 
 
 def _engine_world(device_maker, barriers, engine_cls, config):
-    sim = Simulator()
+    sim = setups.fresh_world()
     db_bytes = setups.scaled_db_bytes() // 4
     data_device = device_maker(sim, capacity_bytes=int(db_bytes * 3))
     log_device = device_maker(sim, capacity_bytes=units.GIB)
@@ -93,7 +93,7 @@ def run_sqlite_comparison(txns=300):
             ("rollback", True, "rollback journal, barriers (classic)"),
             ("rollback", False, "rollback journal, nobarrier (DuraSSD)"),
             ("off", False, "journal OFF, nobarrier (DuraSSD atomic)")):
-        sim = Simulator()
+        sim = setups.fresh_world()
         device = make_durassd(sim, capacity_bytes=units.GIB)
         fs = FileSystem(sim, device, barriers=barriers)
         engine = SQLiteEngine(sim, fs, SQLiteConfig(

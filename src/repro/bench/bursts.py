@@ -15,7 +15,7 @@ configuration stalls them behind flush-cache commands.
 
 from ..devices import IORequest, make_durassd, make_ssd_a
 from ..host import FileSystem
-from ..sim import LatencyRecorder, Simulator, units
+from ..sim import LatencyRecorder, units
 from ..sim.rng import make_rng
 from . import setups
 from .tableio import render_table
@@ -30,7 +30,7 @@ CONFIGURATIONS = [
 
 def run_one(device_maker, barriers, fsync_period, burst_writes=600,
             reader_count=8, telemetry=None):
-    sim = Simulator(telemetry)
+    sim = setups.fresh_world(telemetry)
     device = device_maker(sim, capacity_bytes=units.GIB)
     filesystem = FileSystem(sim, device, barriers=barriers)
     data = filesystem.create("data", 256 * units.MIB)

@@ -24,8 +24,8 @@ import sys
 import time
 
 from ..failures import chaos as harness
-from ..failures.grayfaults import PROFILES
 from . import setups
+from .scenarios import GRAY_PROFILES
 
 DEVICES = ("hdd", "ssd-a", "ssd-b", "durassd")
 
@@ -50,9 +50,13 @@ def _print_result(label, result, elapsed):
         verdict = "FINDS"
     ratio = ("%.2fx" % result.degradation_ratio
              if result.degradation_ratio is not None else "-")
-    print("%-32s %-6s ok=%-4d to=%-3d rej=%-3d ro=%-5s slow=%-6s %5.1fs"
+    detect = ("%.0fms" % (result.detection_latency_s * 1e3)
+              if result.detection_latency_s is not None else "-")
+    print("%-32s %-6s ok=%-4d to=%-3d rej=%-3d ro=%-5s slow=%-6s "
+          "det=%-6s %5.1fs"
           % (label, verdict, result.ops_ok, result.ops_timed_out,
-             result.ops_rejected, result.read_only, ratio, elapsed))
+             result.ops_rejected, result.read_only, ratio, detect,
+             elapsed))
     for violation in result.violations:
         print("    violation: %s" % violation)
 
@@ -146,7 +150,9 @@ def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
-        print("profiles: %s" % ", ".join(sorted(PROFILES)))
+        print("profiles:")
+        for line in GRAY_PROFILES.listing():
+            print(line)
         return 0
 
     def take_option(name, default=None):
@@ -174,7 +180,11 @@ def main(argv=None):
     engine = argv[0] if argv else "innodb"
     device = argv[1] if len(argv) > 1 else "durassd"
     ops = int(ops) if ops else setups.ops_scale(120)
-    profiles = [profile] if profile else [name for name in sorted(PROFILES)
+    if profile and profile not in GRAY_PROFILES:
+        print("no gray-fault profile %r (have: %s)"
+              % (profile, ", ".join(GRAY_PROFILES.names())))
+        return 2
+    profiles = [profile] if profile else [name for name in GRAY_PROFILES
                                           if name != "none"]
     exit_code = 0
     for name in profiles:

@@ -25,7 +25,7 @@ import sys
 from ..sim import units
 from ..telemetry import Telemetry
 from ..telemetry import report as report_mod
-from . import setups
+from . import scenarios, setups
 from .figure5 import run_config
 
 CLIENTS = 16
@@ -65,20 +65,19 @@ def _scenario_gray(ops):
     return modes
 
 
-SCENARIOS = {
-    "linkbench": ("flush-cache vs durable-cache LinkBench blame",
-                  _scenario_linkbench),
-    "gray": ("healthy vs gray-failing device blame", _scenario_gray),
-}
+SCENARIOS = scenarios.ScenarioSet("explain")
+SCENARIOS.register("linkbench",
+                   "flush-cache vs durable-cache LinkBench blame",
+                   _scenario_linkbench)
+SCENARIOS.register("gray", "healthy vs gray-failing device blame",
+                   _scenario_gray)
 
 
 def run_scenario(name, quick=False, top_k=5):
     """Build the full explain report dict for one scenario."""
-    if name not in SCENARIOS:
-        raise KeyError("no explain scenario %r (have: %s)"
-                       % (name, ", ".join(sorted(SCENARIOS))))
+    fn = SCENARIOS.get(name)
     ops = 10 if quick else max(10, setups.ops_scale(BASE_OPS))
-    modes = SCENARIOS[name][1](ops)
+    modes = fn(ops)
     meta = {"clients": CLIENTS, "ops_per_client": ops,
             "page_size": PAGE_SIZE,
             "scale_factor": setups.scale_factor()}
@@ -90,8 +89,8 @@ def main(argv):
     if not args or args[0] in ("-h", "--help", "list"):
         print(__doc__)
         print("scenarios:")
-        for name in sorted(SCENARIOS):
-            print("  %-10s %s" % (name, SCENARIOS[name][0]))
+        for line in SCENARIOS.listing():
+            print(line)
         return 0
     name = args.pop(0)
     quick, json_path, out_path, top_k = False, None, None, 5

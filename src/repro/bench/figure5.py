@@ -7,7 +7,7 @@ buys ~6x, dropping the double-write buffer buys ~2x (barriers on) or
 ~25% (barriers off), and the best/worst gap exceeds 20x.
 """
 
-from ..sim import Simulator, units
+from ..sim import units
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 from . import setups
 from .tableio import render_table
@@ -28,7 +28,7 @@ PAPER_APPROX = {
 
 def run_config(barrier, doublewrite, page_size, clients=128,
                ops_per_client=None, buffer_gb=10, telemetry=None):
-    sim = Simulator(telemetry)
+    sim = setups.fresh_world(telemetry)
     engine, _devices = setups.mysql_setup(sim, page_size, barrier,
                                           doublewrite, buffer_gb=buffer_gb)
     workload = LinkBenchWorkload(

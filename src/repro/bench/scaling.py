@@ -28,7 +28,7 @@ import time
 
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..host import FileSystem, RegionView, StripedVolume
-from ..sim import Simulator, units
+from ..sim import units
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 from . import setups
 from .tableio import render_table
@@ -70,7 +70,7 @@ def run_width(width, barriers, clients=CLIENTS, ops_per_client=None):
     """One stripe-sweep cell: striped data target + dedicated log."""
     if ops_per_client is None:
         ops_per_client = setups.ops_scale(BASE_OPS_PER_CLIENT)
-    sim = Simulator()
+    sim = setups.fresh_world()
     db_bytes = setups.scaled_db_bytes()
     data_target, _members = setups.make_data_target(
         sim, DEVICE_KIND, int(db_bytes * 2.5), width=width)
@@ -100,7 +100,7 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
     """
     if ops_per_client is None:
         ops_per_client = setups.ops_scale(BASE_OPS_PER_CLIENT)
-    sim = Simulator()
+    sim = setups.fresh_world()
     db_bytes = setups.scaled_db_bytes()
     data_bytes = int(db_bytes * 2.5)
     log_bytes = max(units.GIB, db_bytes // 4)

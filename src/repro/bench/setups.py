@@ -27,6 +27,7 @@ from ..failures.grayfaults import GrayFaultModel, make_profile
 from ..host import FileSystem, PlacementVolume, SingleDevice, StripedVolume
 from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
+from ..telemetry import MetricsRegistry, Telemetry
 
 PAPER_DB_BYTES = 100 * units.GIB
 
@@ -139,7 +140,54 @@ def scaled(buffer_gb):
     return int(buffer_gb * units.GIB) // scale_factor()
 
 
+#: metrics window interval armed by --metrics-interval, or None (off)
+_METRICS_INTERVAL = None
+
+#: simulators built with an armed registry, for post-run series export
+_METRIC_SIMS = []
+
+
+def set_metrics_interval(interval):
+    """Arm continuous windowed metrics for subsequently built worlds.
+
+    Each :func:`fresh_world` call that does not bring its own telemetry
+    hub gets one whose metrics registry samples every ``interval``
+    simulated seconds; the simulators are remembered (:func:`metric_sims`)
+    so the CLI can export their series after the bench finishes.
+    ``None`` disarms — the byte-identical default path, where worlds get
+    a disabled hub and every instrument is a shared no-op.
+    """
+    global _METRICS_INTERVAL
+    if interval is not None and interval <= 0:
+        raise ValueError("metrics interval must be positive")
+    _METRICS_INTERVAL = interval
+    del _METRIC_SIMS[:]
+
+
+def metrics_interval():
+    return _METRICS_INTERVAL
+
+
+def metric_sims():
+    """Simulators built since arming, each carrying a live registry."""
+    return list(_METRIC_SIMS)
+
+
 def fresh_world(telemetry=None):
+    """A simulator for one bench world.
+
+    With ``--metrics-interval`` armed and no explicit hub, the world
+    gets a trace-disabled hub with an enabled metrics registry — spans
+    stay off (their overhead would distort latency-sensitive benches
+    far more than windowed counter snapshots do).
+    """
+    if telemetry is None and _METRICS_INTERVAL is not None:
+        telemetry = Telemetry(
+            enabled=False,
+            metrics=MetricsRegistry(interval=_METRICS_INTERVAL))
+        sim = Simulator(telemetry)
+        _METRIC_SIMS.append(sim)
+        return sim
     return Simulator(telemetry)
 
 

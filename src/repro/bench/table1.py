@@ -6,7 +6,7 @@ with the fio tool at queue depth 1, exactly as the paper does.
 """
 
 from ..host import FileSystem, FioJob, run_fio
-from ..sim import Simulator, units
+from ..sim import units
 from . import setups
 from .tableio import render_table
 
@@ -37,7 +37,7 @@ ROWS = [
 
 def measure_cell(device_kind, mode, fsync_period, ios=None, telemetry=None):
     """One fio run; returns IOPS."""
-    sim = Simulator(telemetry)
+    sim = setups.fresh_world(telemetry)
     cache_enabled = mode != "off"
     device = setups.make_device(sim, device_kind,
                                 cache_enabled=cache_enabled)

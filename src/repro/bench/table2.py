@@ -6,7 +6,7 @@ write-only at 128 threads.  Page sizes 16/8/4KB.
 """
 
 from ..host import FileSystem, FioJob, run_fio
-from ..sim import Simulator, units
+from ..sim import units
 from . import setups
 from .tableio import render_table
 
@@ -26,7 +26,7 @@ PAPER_HDD = {
 
 def _measure(device_kind, rw, numjobs, fsync_every, barriers, page_size,
              cache_enabled=True):
-    sim = Simulator()
+    sim = setups.fresh_world()
     device = setups.make_device(sim, device_kind,
                                 cache_enabled=cache_enabled)
     filesystem = FileSystem(sim, device, barriers=barriers)

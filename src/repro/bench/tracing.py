@@ -11,64 +11,18 @@ is readable; a trace of a full benchmark sweep is not.  To trace a full
 benchmark run instead, use ``python -m repro <experiment> --telemetry``.
 """
 
-from ..devices import make_durassd
-from ..sim import units
 from ..telemetry import Telemetry
-from . import setups
-from .figure5 import run_config
+from .scenarios import TRACED
 
-
-def _trace_table1(telemetry):
-    """One Table 1 fio cell: DuraSSD, cache on, fsync every 8 writes."""
-    from .table1 import measure_cell
-    iops = measure_cell("durassd", "on", 8, ios=setups.ops_scale(200),
-                        telemetry=telemetry)
-    return "fio 4KB randwrite, durassd/on, fsync=8: %.0f IOPS" % iops
-
-
-def _trace_figure5(telemetry):
-    """One LinkBench run: MySQL defaults (ON/ON), 16KB pages."""
-    result = run_config(True, True, 16 * units.KIB, clients=16,
-                        ops_per_client=max(8, setups.ops_scale(12)),
-                        telemetry=telemetry)
-    return "LinkBench ON/ON 16KB, 16 clients: %.0f TPS" % result.tps
-
-
-def _trace_table3(telemetry):
-    """The latency-tail configuration of Table 3 (ON/ON, 16KB)."""
-    result = run_config(True, True, 16 * units.KIB, clients=16,
-                        ops_per_client=max(8, setups.ops_scale(12)),
-                        telemetry=telemetry)
-    return ("LinkBench ON/ON 16KB: write mean %.1f ms, p99 %.1f ms"
-            % (result.writes.mean * 1e3,
-               result.writes.percentile(0.99) * 1e3))
-
-
-def _trace_bursts(telemetry):
-    """Write burst absorbed by DuraSSD with barriers off."""
-    from .bursts import run_one
-    outcome = run_one(make_durassd, False, 8,
-                      burst_writes=setups.ops_scale(200),
-                      telemetry=telemetry)
-    return ("burst drained in %.3f s; read p99 %.2f ms"
-            % (outcome["burst_seconds"], outcome["read_p99_ms"]))
-
-
-SCENARIOS = {
-    "table1": ("one fio cell (durassd, cache on, fsync=8)", _trace_table1),
-    "figure5": ("one LinkBench run (ON/ON, 16KB pages)", _trace_figure5),
-    "table3": ("the ON/ON latency-tail LinkBench run", _trace_table3),
-    "bursts": ("a write burst on DuraSSD, barriers off", _trace_bursts),
-}
+#: the shared traced-scenario registry (see repro.bench.scenarios)
+SCENARIOS = TRACED
 
 
 def run_scenario(name, sample_interval=0.002):
     """Run a traced scenario; returns ``(telemetry, outcome_line)``."""
-    if name not in SCENARIOS:
-        raise KeyError("no traced scenario for %r (have: %s)"
-                       % (name, ", ".join(sorted(SCENARIOS))))
+    fn = SCENARIOS.get(name)
     telemetry = Telemetry(enabled=True, sample_interval=sample_interval)
-    outcome = SCENARIOS[name][1](telemetry)
+    outcome = fn(telemetry)
     return telemetry, outcome
 
 
@@ -78,8 +32,8 @@ def main(argv):
     if not args or args[0] in ("-h", "--help", "list"):
         print(__doc__)
         print("scenarios:")
-        for name in sorted(SCENARIOS):
-            print("  %-10s %s" % (name, SCENARIOS[name][0]))
+        for line in SCENARIOS.listing():
+            print(line)
         print("\noptions: --out PATH (default trace.json), --jsonl PATH,"
               "\n         --sample-interval SECONDS, --quiet")
         return 0

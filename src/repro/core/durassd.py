@@ -60,6 +60,17 @@ class DuraSSD(FlashSSD):
             lambda: (self.capacitors.dump_budget_bytes - MAPPING_DUMP_RESERVE
                      - len(self.cache) * units.LBA_SIZE),
             "device", device=self.name)
+        metrics = sim.telemetry.metrics
+        metrics.gauge("device.capacitor_health",
+                      fn=lambda: self.capacitors.health, device=self.name)
+        metrics.gauge("device.durable",
+                      fn=lambda: 1.0 if self.durable else 0.0,
+                      device=self.name)
+
+    def smart(self):
+        report = super().smart()
+        report["durability"] = self.durability_report()
+        return report
 
     # --- capacitor degradation ---------------------------------------------
     @property

@@ -81,6 +81,16 @@ class CouchstoreEngine:
                          "cache_misses": 0}
         self.degradation = DegradationMonitor(sim, name="couchstore-%s"
                                               % name)
+        metrics = sim.telemetry.metrics
+        metrics.counter("db.commits",
+                        fn=lambda: self.counters["commits"],
+                        engine="couchstore-%s" % name)
+        metrics.counter("db.updates",
+                        fn=lambda: self.counters["updates"],
+                        engine="couchstore-%s" % name)
+        metrics.counter("db.blocks_appended",
+                        fn=lambda: self.counters["blocks_appended"],
+                        engine="couchstore-%s" % name)
 
     # --- operations (generators) ------------------------------------------------
     def update(self, key, rng):

@@ -66,6 +66,15 @@ class DegradationMonitor:
         self.demoted_at = None
         self.counters = {"escalations": 0, "write_rejects": 0,
                          "admission_rejects": 0, "admission_waits": 0}
+        metrics = sim.telemetry.metrics
+        metrics.gauge("db.read_only",
+                      fn=lambda: 1.0 if self.read_only else 0.0,
+                      engine=name)
+        for key in ("escalations", "write_rejects", "admission_rejects",
+                    "admission_waits"):
+            metrics.counter("db.%s" % key,
+                            fn=lambda key=key: self.counters[key],
+                            engine=name)
 
     def record_escalation(self, error):
         """Note one :class:`DeviceTimeoutError`; demote at the limit.

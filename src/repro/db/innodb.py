@@ -124,6 +124,21 @@ class InnoDBEngine:
                                 lambda: self.pool.dirty_count, "db")
         sim.telemetry.add_probe("bp.free_frames",
                                 lambda: self.pool.free_frames, "db")
+        metrics = sim.telemetry.metrics
+        metrics.counter("db.commits",
+                        fn=lambda: self.counters["commits"], engine="innodb")
+        metrics.counter("db.txn_aborts",
+                        fn=lambda: self.counters["aborts"], engine="innodb")
+        metrics.counter("db.pages_flushed",
+                        fn=lambda: self.counters["pages_flushed"],
+                        engine="innodb")
+        metrics.gauge("db.bp_dirty_ratio", fn=self.pool.dirty_fraction,
+                      engine="innodb")
+        metrics.gauge("db.bp_hit_ratio",
+                      fn=lambda: 1.0 - self.pool.miss_ratio(),
+                      engine="innodb")
+        metrics.gauge("db.bp_free_frames",
+                      fn=lambda: self.pool.free_frames, engine="innodb")
         sim.process(self._cleaner())
 
     # --- schema ------------------------------------------------------------

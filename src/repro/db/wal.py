@@ -61,6 +61,18 @@ class WriteAheadLog:
                                 lambda: self._buffered_bytes, "db")
         sim.telemetry.add_probe("wal.checkpoint_pressure",
                                 self.checkpoint_pressure, "db")
+        metrics = sim.telemetry.metrics
+        metrics.counter("db.wal_fsyncs",
+                        fn=lambda: self.counters["flushes"])
+        metrics.counter("db.wal_appends",
+                        fn=lambda: self.counters["appends"])
+        metrics.counter("db.wal_bytes",
+                        fn=lambda: self._appended_bytes)
+        metrics.counter("db.wal_group_commits",
+                        fn=lambda: self.counters["group_commits"])
+        metrics.gauge("db.wal_buffered_bytes",
+                      fn=lambda: self._buffered_bytes)
+        metrics.gauge("db.checkpoint_pressure", fn=self.checkpoint_pressure)
 
     @property
     def current_lsn(self):

@@ -127,6 +127,34 @@ class StorageDevice:
         self.counters = {"reads": 0, "writes": 0, "flushes": 0,
                          "blocks_read": 0, "blocks_written": 0,
                          "aborts": 0, "resets": 0}
+        sim.telemetry.register_smart(self)
+        metrics = sim.telemetry.metrics
+        metrics.counter("device.reads",
+                        fn=lambda: self.counters["reads"], device=name)
+        metrics.counter("device.writes",
+                        fn=lambda: self.counters["writes"], device=name)
+        metrics.counter("device.flushes",
+                        fn=lambda: self.counters["flushes"], device=name)
+        metrics.counter("device.blocks_written",
+                        fn=lambda: self.counters["blocks_written"],
+                        device=name)
+        metrics.gauge("device.inflight",
+                      fn=lambda: len(self._inflight), device=name)
+
+    # --- SMART-style self-report --------------------------------------------
+    def smart(self):
+        """A SMART-style health self-report: what the device would
+        answer to a ``SMART READ DATA`` — counters and state the host
+        cannot see through the block interface.  Subclasses extend."""
+        return {
+            "device": self.name,
+            "model": type(self).__name__,
+            "powered": self.powered,
+            "durable_cache": self.claims_durable_cache,
+            "commands": dict(self.counters),
+            "inflight": len(self._inflight),
+            "oldest_inflight_age_s": self.oldest_inflight_age(),
+        }
 
     # --- host interface ----------------------------------------------------
     def submit(self, request):

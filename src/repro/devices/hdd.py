@@ -78,8 +78,21 @@ class DiskDrive(StorageDevice):
         self._inflight_sequences = set()
         self._flusher_wakeup = None
         self._power_on_event = None
+        sim.telemetry.metrics.gauge("device.cache_occupancy",
+                                    fn=lambda: len(self.cache),
+                                    device=self.name)
         if cache_enabled:
             sim.process(self._flusher())
+
+    def smart(self):
+        report = super().smart()
+        report["cache"] = {
+            "occupancy_slots": len(self.cache),
+            "capacity_slots": self.cache.capacity_slots,
+            "dedup_hits": self.cache.dedup_hits,
+            "enabled": self.cache_enabled,
+        }
+        return report
 
     # --- medium access -----------------------------------------------------
     def _positioning_time(self):

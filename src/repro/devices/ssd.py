@@ -122,6 +122,32 @@ class FlashSSD(StorageDevice):
         telemetry.add_probe("ftl.gc_runs",
                             lambda: self.ftl.counters["gc_runs"], "flash",
                             device=self.name)
+        metrics = telemetry.metrics
+        metrics.gauge("device.cache_occupancy",
+                      fn=lambda: len(self.cache), device=self.name)
+        metrics.counter("device.cache_dedup_hits",
+                        fn=lambda: self.cache.dedup_hits, device=self.name)
+        metrics.counter("flash.gc_runs",
+                        fn=lambda: self.ftl.counters["gc_runs"],
+                        device=self.name)
+        metrics.counter("flash.gc_moved_slots",
+                        fn=lambda: self.ftl.counters["gc_moved_slots"],
+                        device=self.name)
+        metrics.counter("flash.host_slot_writes",
+                        fn=lambda: self.ftl.counters["host_slot_writes"],
+                        device=self.name)
+        metrics.counter("flash.erase_total",
+                        fn=lambda: self.ftl.wear()[2], device=self.name)
+        metrics.counter("flash.grown_bad_blocks",
+                        fn=lambda: self.ftl.counters["retired_blocks"],
+                        device=self.name)
+        metrics.gauge("flash.free_blocks",
+                      fn=lambda: self.ftl.free_blocks, device=self.name)
+        metrics.gauge("flash.dirty_mapping",
+                      fn=lambda: self.ftl.dirty_mapping_entries,
+                      device=self.name)
+        metrics.gauge("flash.waf",
+                      fn=self.write_amplification, device=self.name)
         self._space_waiters = []
         self._drain_waiters = []  # (snapshot_sequence, event)
         self._inflight_sequences = set()
@@ -138,6 +164,41 @@ class FlashSSD(StorageDevice):
                 self.array.geometry.total_blocks):
             self.ftl.retire_block(block)
         return fault_model
+
+    # --- health introspection -----------------------------------------------
+    #: rated program/erase cycles per block for the media-wear estimate
+    MEDIA_ENDURANCE_CYCLES = 3000
+
+    def write_amplification(self):
+        """Slots programmed per host slot written (1.0 before any GC)."""
+        host = self.ftl.counters["host_slot_writes"]
+        if not host:
+            return 1.0
+        return (host + self.ftl.counters["gc_moved_slots"]) / host
+
+    def smart(self):
+        wear_min, wear_max, wear_total = self.ftl.wear()
+        report = super().smart()
+        report["cache"] = {
+            "occupancy_slots": len(self.cache),
+            "capacity_slots": self.cache.capacity_slots,
+            "dedup_hits": self.cache.dedup_hits,
+            "enabled": self.cache_enabled,
+        }
+        report["media"] = {
+            "erase_count_min": wear_min,
+            "erase_count_max": wear_max,
+            "erase_count_total": wear_total,
+            "media_wear_pct": 100.0 * wear_max / self.MEDIA_ENDURANCE_CYCLES,
+            "free_blocks": self.ftl.free_blocks,
+            "grown_bad_blocks": self.ftl.counters["retired_blocks"],
+            "write_amplification": self.write_amplification(),
+            "gc_runs": self.ftl.counters["gc_runs"],
+        }
+        report["mapping"] = {
+            "dirty_entries": self.ftl.dirty_mapping_entries,
+        }
+        return report
 
     # --- LBA <-> FTL slot mapping -------------------------------------------
     # The FTL's mapping unit may be 8KB (two LBAs per slot, conventional

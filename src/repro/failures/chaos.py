@@ -35,6 +35,9 @@ import math
 from ..db import dbrecovery
 from ..db.degrade import DegradedError
 from ..host.lifecycle import DeviceTimeoutError, TimeoutPolicy
+from ..telemetry.hub import Telemetry
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.slo import SLOMonitor, default_chaos_rules
 from .checker import check_device, check_write_order
 from .grayfaults import GrayFaultProfile, make_profile
 from .injector import PowerFailureInjector
@@ -60,6 +63,10 @@ CHAOS_DEADLINE = 0.01
 #: seconds of simulated workload one LinkBench operation roughly takes
 #: on the fast presets — used to rescale profile horizons to the stream
 _SECONDS_PER_OP = 0.75e-3
+
+#: metrics window length for the chaos SLO monitor: fine enough that a
+#: timeout burst is localized to within ~half a deadline
+CHAOS_METRICS_INTERVAL = 0.005
 
 
 def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
@@ -117,6 +124,13 @@ class ChaosResult:
         self.host_counters = {}
         self.gray_counters = {}
         self.db_counters = {}
+        # SLO-monitor verdict: fired alert episodes, the first instant
+        # an injection perturbed a command, and how long the monitor
+        # took to notice (first fire minus first fault).
+        self.alerts = []
+        self.slo_rules_evaluated = 0
+        self.first_fault_s = None
+        self.detection_latency_s = None
 
     @property
     def clean(self):
@@ -143,6 +157,10 @@ class ChaosResult:
             "host_counters": self.host_counters,
             "gray_counters": self.gray_counters,
             "db_counters": self.db_counters,
+            "alerts": list(self.alerts),
+            "slo_rules_evaluated": self.slo_rules_evaluated,
+            "first_fault_s": self.first_fault_s,
+            "detection_latency_s": self.detection_latency_s,
         }
 
     def __repr__(self):
@@ -226,14 +244,61 @@ def baseline_duration(scenario, ops, telemetry=None):
     return world.sim.now
 
 
+def _first_fault_time(world):
+    """Earliest instant any device's gray model perturbed a command."""
+    first = None
+    for device in world.devices:
+        model = device.gray_faults
+        if model is None or model.first_fault_time is None:
+            continue
+        if first is None or model.first_fault_time < first:
+            first = model.first_fault_time
+    return first
+
+
+def _evaluate_slo(world, scenario, profile, result):
+    """Run the detection rules over the run's metric windows.
+
+    The rules see only host-observable symptoms (timeout counters,
+    read-only demotion, in-flight age) — detection latency measures the
+    monitor genuinely *noticing*, not being told about the injection.
+    A quiet profile firing any alert is a false-positive violation.
+    """
+    registry = world.sim.telemetry.metrics
+    if not registry.active:
+        return
+    registry.finish(world.sim.now)
+    policy = scenario.timeout_policy or TimeoutPolicy()
+    monitor = SLOMonitor(registry, default_chaos_rules(policy.deadline))
+    outcomes = monitor.evaluate()
+    episodes = [episode for outcome in outcomes
+                for episode in outcome.episodes]
+    episodes.sort(key=lambda episode: episode.fired_at)
+    result.slo_rules_evaluated = sum(
+        1 for outcome in outcomes if outcome.evaluations)
+    result.alerts = [episode.to_json() for episode in episodes]
+    result.first_fault_s = _first_fault_time(world)
+    if episodes and result.first_fault_s is not None:
+        result.detection_latency_s = (episodes[0].fired_at
+                                      - result.first_fault_s)
+    if profile.quiet and episodes:
+        fired = sorted({episode.rule.name for episode in episodes})
+        result.violations.append(
+            "slo:false-positive:%s" % ",".join(fired))
+
+
 def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
-              crash_check=True, expect_read_only=None):
+              crash_check=True, expect_read_only=None, monitor=True,
+              metrics_interval=None):
     """One chaos run: liveness, then safety, then bounded degradation.
 
     ``baseline`` is the fault-free completion time (computed on demand
     when omitted and a bound applies).  ``expect_read_only`` overrides
     the default expectation (permanent-hang profiles must demote).
-    Returns a :class:`ChaosResult`.
+    With ``monitor`` on (and no caller-supplied ``telemetry``), the run
+    collects windowed metrics and reports the SLO monitor's verdict —
+    fired alerts and gray-failure detection latency.  Returns a
+    :class:`ChaosResult`.
     """
     if ops is None:
         ops = generate_ops(scenario)
@@ -243,6 +308,13 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
                                 and profile.hang_permanent)
     result = ChaosResult(scenario)
     result.ops_total = len(ops)
+    own_hub = telemetry is None and monitor
+    if own_hub:
+        # Spans stay off; only the windowed metric collector runs.  The
+        # hub must not leak into baseline_duration below — a hub binds
+        # to exactly one simulator.
+        telemetry = Telemetry(enabled=False, metrics=MetricsRegistry(
+            interval=metrics_interval or CHAOS_METRICS_INTERVAL))
     world = build_world(scenario, telemetry)
     sim = world.sim
     result.expected_clean = world.expected_clean
@@ -279,8 +351,10 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
             result.expected_clean = True
             result.violations.append(
                 "liveness:stuck-at-op-%d" % progress["completed"])
+            _evaluate_slo(world, scenario, profile, result)
             span.annotate(stuck=True)
             return result
+        _evaluate_slo(world, scenario, profile, result)
         if expect_read_only and not result.read_only:
             result.violations.append(
                 "degrade:no-readonly-demotion:escalations=%d"
@@ -292,7 +366,8 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
             bound = DEFAULT_DEGRADATION_BOUND
         if not profile.quiet and bound != math.inf:
             if baseline is None:
-                baseline = baseline_duration(scenario, ops, telemetry)
+                baseline = baseline_duration(
+                    scenario, ops, None if own_hub else telemetry)
             result.baseline_duration = baseline
             result.degradation_ratio = (result.duration / baseline
                                         if baseline else None)

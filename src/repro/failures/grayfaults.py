@@ -146,6 +146,14 @@ class GrayFaultModel:
         self.episodes = self._expand()
         self.counters = {"stalls": 0, "pauses": 0, "gc_storms": 0,
                          "queue_full": 0, "hangs": 0, "cured_by_reset": 0}
+        #: first simulated instant an injection actually perturbed a
+        #: command — the reference point for detection-latency verdicts
+        #: (an episode no command ever hits is undetectable by design)
+        self.first_fault_time = None
+
+    def _mark_injection(self, now):
+        if self.first_fault_time is None:
+            self.first_fault_time = now
 
     def _expand(self):
         """Lay episode windows over the horizon, deterministically."""
@@ -186,6 +194,7 @@ class GrayFaultModel:
                 continue
             if episode.kind == HANG:
                 self.counters["hangs"] += 1
+                self._mark_injection(now)
                 return math.inf
             if episode.kind == PAUSE:
                 self.counters["pauses"] += 1
@@ -193,6 +202,8 @@ class GrayFaultModel:
             elif episode.kind == QUEUE_FULL:
                 self.counters["queue_full"] += 1
                 hold = max(hold, episode.end - now)
+        if hold > 0.0:
+            self._mark_injection(now)
         return hold
 
     def command_delay(self, op, now):
@@ -209,6 +220,8 @@ class GrayFaultModel:
                 delay += (profile.gc_storm_factor - 1.0) \
                     * profile.stall_time
                 break
+        if delay > 0.0:
+            self._mark_injection(now)
         return delay
 
     def on_reset(self, now):

@@ -105,6 +105,15 @@ class CommandLifecycle:
         self._rng = make_rng(("lifecycle", policy.seed if policy else 0,
                               device.name))
         self.counters = dict.fromkeys(self.COUNTER_KEYS, 0)
+        metrics = sim.telemetry.metrics
+        for key in self.COUNTER_KEYS:
+            metrics.counter("host.%s" % key,
+                            fn=lambda key=key: self.counters[key],
+                            device=device.name)
+        metrics.gauge("host.inflight_age", fn=device.oldest_inflight_age,
+                      device=device.name)
+        self._latency = metrics.histogram("host.cmd_latency",
+                                          device=device.name)
         if policy is not None:
             telemetry = sim.telemetry
             for key in self.COUNTER_KEYS:
@@ -117,18 +126,26 @@ class CommandLifecycle:
 
     def execute(self, request):
         """Run one I/O command through the full lifecycle (generator)."""
+        begin = self.sim.now
         if self.policy is None:
             completed = yield self.device.submit(request)
+            self._latency.observe(self.sim.now - begin)
             return completed
-        return (yield from self._run(
-            lambda: self.device.submit(request), request.op, request.lba))
+        completed = yield from self._run(
+            lambda: self.device.submit(request), request.op, request.lba)
+        self._latency.observe(self.sim.now - begin)
+        return completed
 
     def execute_flush(self):
         """Run one flush-cache command through the lifecycle (generator)."""
+        begin = self.sim.now
         if self.policy is None:
             result = yield self.device.flush_cache()
+            self._latency.observe(self.sim.now - begin)
             return result
-        return (yield from self._run(self.device.flush_cache, "flush", None))
+        result = yield from self._run(self.device.flush_cache, "flush", None)
+        self._latency.observe(self.sim.now - begin)
+        return result
 
     # --- the escalation ladder -------------------------------------------
     def _run(self, start, op, lba):

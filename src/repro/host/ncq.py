@@ -37,6 +37,9 @@ class CommandQueue:
         sim.telemetry.add_probe("ncq.depth",
                                 lambda: self._slots.in_use, "host",
                                 device=device.name)
+        sim.telemetry.metrics.gauge("host.ncq_depth",
+                                    fn=lambda: self._slots.in_use,
+                                    device=device.name)
 
     @property
     def outstanding(self):

@@ -208,6 +208,23 @@ class StripedVolume(BlockTarget):
         chunks_per_member = min(d.exported_lbas for d in devices) \
             // chunk_blocks
         self._exported = chunks_per_member * chunk_blocks * self.width
+        metrics = sim.telemetry.metrics
+        for index, device in enumerate(devices):
+            metrics.counter(
+                "host.member_submitted",
+                fn=lambda index=index: self._activity[index].submitted,
+                volume=self.name, member=device.name)
+        metrics.gauge("host.volume_imbalance", fn=self.write_imbalance,
+                      volume=self.name)
+
+    def write_imbalance(self):
+        """Busiest member's submitted-fragment share of a perfectly
+        even split (1.0 = balanced, ``width`` = everything on one)."""
+        submitted = [state.submitted for state in self._activity]
+        total = sum(submitted)
+        if not total:
+            return 1.0
+        return max(submitted) * len(submitted) / total
 
     @property
     def exported_lbas(self):

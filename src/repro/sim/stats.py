@@ -5,7 +5,7 @@ operation type (Table 3) and throughput in IOPS, TPS, tpmC and OPS.
 These classes collect exactly those summaries from simulation runs.
 """
 
-import math
+from ..telemetry.histogram import nearest_rank
 
 
 class LatencyRecorder:
@@ -61,17 +61,7 @@ class LatencyRecorder:
         """Nearest-rank percentile; ``fraction`` in (0, 1]."""
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]: %r" % fraction)
-        if not self._samples:
-            return 0.0
-        ordered = self.sorted_samples()
-        # Float products like 0.1 * 30 land a hair above the true rank
-        # boundary (3.0000000000000004), so a naive ceil over-reports
-        # the percentile by a whole rank at small sample counts.  The
-        # epsilon recovers the decimal intent; exact-rational ceil of
-        # the *float* would be worse (0.9 converts above 9/10, making
-        # p90 of ten samples the maximum).
-        rank = math.ceil(fraction * len(ordered) - 1e-9)
-        return ordered[min(max(rank, 1), len(ordered)) - 1]
+        return nearest_rank(self.sorted_samples(), fraction)
 
     def summary(self):
         """Dict with the paper's Table 3 columns (seconds)."""

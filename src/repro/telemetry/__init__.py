@@ -51,18 +51,30 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .histogram import DEFAULT_LOG_EDGES, LogHistogram, nearest_rank
 from .hub import NULL_SPAN, Span, Telemetry
+from .metrics import NULL_INSTRUMENT, MetricsRegistry
 from .probes import Probe
+from .slo import SLOMonitor, SLORule, default_bench_rules, default_chaos_rules
 from .validate import validate_chrome_trace, validate_trace_file
 
 __all__ = [
     "CATEGORIES",
     "BlameTable",
+    "DEFAULT_LOG_EDGES",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
     "NULL_SPAN",
     "Probe",
+    "SLOMonitor",
+    "SLORule",
     "Span",
     "SpanIndex",
     "Telemetry",
+    "default_bench_rules",
+    "default_chaos_rules",
+    "nearest_rank",
     "attribute_requests",
     "chrome_trace_events",
     "render_flamegraph",

@@ -29,6 +29,8 @@ under no mapped span at all lands in ``other``.
 
 import math
 
+from .histogram import DEFAULT_LOG_EDGES, bucket_index, nearest_rank
+
 #: blame categories, report order.  Keep in sync with docs/OBSERVABILITY.md.
 CATEGORIES = (
     "cpu",          # host CPU slices: op execution, page init after a miss
@@ -230,14 +232,8 @@ def attribute_requests(events, track="workload", name_prefix=None):
 
 
 # --- aggregation --------------------------------------------------------
-def _percentile(ordered, fraction):
-    """Nearest-rank percentile over an ascending list (float-safe,
-    same convention as :meth:`repro.sim.stats.LatencyRecorder
-    .percentile`)."""
-    if not ordered:
-        return 0.0
-    rank = math.ceil(fraction * len(ordered) - 1e-9)
-    return ordered[min(max(rank, 1), len(ordered)) - 1]
+#: nearest-rank percentile, shared with LatencyRecorder (histogram.py)
+_percentile = nearest_rank
 
 
 class BlameTable:
@@ -245,7 +241,7 @@ class BlameTable:
     log-spaced histograms per category."""
 
     #: histogram bucket edges: powers of 10 from 1µs, 4 buckets/decade
-    HISTOGRAM_EDGES = [10 ** (exp / 4.0) * 1e-6 for exp in range(28)]
+    HISTOGRAM_EDGES = DEFAULT_LOG_EDGES
 
     def __init__(self, requests):
         self.requests = list(requests)
@@ -279,14 +275,7 @@ class BlameTable:
         for value in self.per_cause[category]:
             if value <= 0.0:
                 continue
-            lo, hi = 0, len(edges)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if value < edges[mid]:
-                    hi = mid
-                else:
-                    lo = mid + 1
-            counts[lo] += 1
+            counts[bucket_index(value, edges)] += 1
         return counts
 
     def latency_percentiles(self):

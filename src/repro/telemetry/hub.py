@@ -30,6 +30,7 @@ processes each see their own context.
 
 import json
 
+from .metrics import MetricsRegistry
 from .probes import Probe
 
 
@@ -137,11 +138,19 @@ class Telemetry:
     sample_interval:
         Simulated seconds between probe samples.  Sampling rides on
         clock advances — it adds no events to the simulation.
+    metrics:
+        An optional :class:`~repro.telemetry.metrics.MetricsRegistry`
+        collecting windowed Counter/Gauge/Histogram series.  Defaults
+        to a disabled registry, so instrumented layers can register
+        unconditionally.  Metrics are independent of ``enabled`` —
+        a hub can collect windows while spans stay off.
     """
 
-    def __init__(self, enabled=True, sample_interval=0.002):
+    def __init__(self, enabled=True, sample_interval=0.002, metrics=None):
         self.enabled = enabled
         self.sample_interval = sample_interval
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
         self.sim = None
         #: every recorded event, in deterministic append order
         self.events = []
@@ -150,12 +159,15 @@ class Telemetry:
         self._span_counter = 0
         self._ambient = None       # span stack for code outside processes
         self._next_sample_at = 0.0
+        #: devices that can render a SMART-style smart() self-report
+        self.smart_sources = []
 
     # --- wiring ---------------------------------------------------------
     def _bind(self, sim):
         if self.sim is not None and self.sim is not sim:
             raise ValueError("telemetry hub is already bound to a simulator")
         self.sim = sim
+        self.metrics._bind(sim)
 
     def _next_span_id(self):
         self._span_counter += 1
@@ -220,6 +232,17 @@ class Telemetry:
             self.sim._arm_telemetry_tick()
         return name
 
+    # --- SMART self-reports ----------------------------------------------
+    def register_smart(self, device):
+        """Register a device exposing ``smart()`` so monitors can pull
+        health reports without holding device handles.  Always on: the
+        cost is one list append per device, at build time."""
+        self.smart_sources.append(device)
+
+    def smart_reports(self):
+        """``smart()`` of every registered device, in build order."""
+        return [device.smart() for device in self.smart_sources]
+
     def sample_now(self):
         """Force one sample of every probe at the current instant."""
         if not self.enabled:
@@ -249,11 +272,11 @@ class Telemetry:
         is constant between events, so the value recorded for grid time
         ``t`` is exactly the simulated state at ``t``.
         """
-        if not self.probes:
-            return
-        while self._next_sample_at <= when:
-            self._sample_all(self._next_sample_at)
-            self._next_sample_at += self.sample_interval
+        if self.probes:
+            while self._next_sample_at <= when:
+                self._sample_all(self._next_sample_at)
+                self._next_sample_at += self.sample_interval
+        self.metrics._advance(when)
 
     # --- accessors ------------------------------------------------------
     def spans(self, name=None, track=None):

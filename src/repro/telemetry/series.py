@@ -1,0 +1,275 @@
+"""Windowed-series math and exporters for the metrics registry.
+
+Windows (:class:`~repro.telemetry.metrics.Window`) hold *cumulative*
+snapshots at their end boundary.  This module derives per-window deltas
+and rates, merges adjacent windows into coarser rollups, selects and
+aggregates series across labels, and renders three export formats:
+
+* **JSON** (``series_json``) — the ``repro monitor`` dashboard schema;
+* **Prometheus text** (``to_prometheus``) — final cumulative state in
+  the text exposition format (``repro_`` prefix, sorted labels,
+  cumulative ``le`` buckets);
+* **CSV** (``csv_lines``) — one row per instrument per window, long
+  format, for spreadsheets and pandas.
+"""
+
+from .metrics import Window, _key
+
+PROMETHEUS_PREFIX = "repro_"
+
+
+# --- per-window value algebra -------------------------------------------
+def _zero_like(snapshot):
+    if isinstance(snapshot, dict):
+        return {"counts": [0] * len(snapshot["counts"]), "count": 0,
+                "sum": 0.0, "max": 0.0}
+    return 0.0
+
+
+def delta(previous, current):
+    """Cumulative snapshot difference (counter value or histogram)."""
+    if isinstance(current, dict):
+        if previous is None:
+            previous = _zero_like(current)
+        return {
+            "counts": [c - p for c, p in zip(current["counts"],
+                                             previous["counts"])],
+            "count": current["count"] - previous["count"],
+            "sum": current["sum"] - previous["sum"],
+            "max": current["max"],
+        }
+    return current - (previous or 0.0)
+
+
+def window_deltas(windows, key):
+    """Per-window deltas of one instrument across ``windows``."""
+    out, previous = [], None
+    for window in windows:
+        current = window.values.get(key)
+        if current is None:
+            out.append(None)
+            continue
+        out.append(delta(previous, current))
+        previous = current
+    return out
+
+
+def rollup(windows, factor):
+    """Merge adjacent windows into groups of ``factor``.
+
+    Snapshots are cumulative, so a merged window is simply the *last*
+    member's values spanning the group's full time range: counter and
+    histogram deltas add up exactly; a gauge keeps its value at the
+    merged window's end boundary (the sampling semantics are unchanged).
+    A trailing partial group is kept.
+    """
+    if factor < 1:
+        raise ValueError("rollup factor must be >= 1: %r" % (factor,))
+    merged = []
+    for start in range(0, len(windows), factor):
+        group = windows[start:start + factor]
+        merged.append(Window(group[0].t0, group[-1].t1, group[-1].values))
+    return merged
+
+
+def select(registry, name, labels=None):
+    """Instruments matching ``name`` (and ``labels``, when given —
+    a subset match: ``device="log"`` matches any instrument carrying
+    that label)."""
+    out = []
+    for instrument in registry.instruments():
+        if instrument.name != name:
+            continue
+        if labels and any(instrument.labels.get(k) != v
+                          for k, v in labels.items()):
+            continue
+        out.append(instrument)
+    return out
+
+
+def aggregate_window_values(registry, name, labels=None):
+    """Per-window aggregate of every instrument matching ``name``:
+    counters/histograms sum (cumulative), gauges take the max.
+
+    Returns ``(kind, [value per window])``; ``(None, [])`` when nothing
+    matches.  This is what SLO rules evaluate against, so a rule on
+    ``host.timeouts`` covers every device without enumerating them.
+    """
+    instruments = select(registry, name, labels)
+    if not instruments:
+        return None, []
+    kind = instruments[0].kind
+    keys = [_key(i.name, i.labels) for i in instruments]
+    out = []
+    for window in registry.windows:
+        values = [window.values[key] for key in keys
+                  if key in window.values]
+        if not values:
+            out.append(None)
+        elif kind == "gauge":
+            out.append(max(values))
+        elif kind == "counter":
+            out.append(sum(values))
+        else:  # histogram: element-wise bucket sum
+            total = _zero_like(values[0])
+            for value in values:
+                total["counts"] = [a + b for a, b in
+                                   zip(total["counts"], value["counts"])]
+                total["count"] += value["count"]
+                total["sum"] += value["sum"]
+                total["max"] = max(total["max"], value["max"])
+            out.append(total)
+    return kind, out
+
+
+def counter_total(registry, name, labels=None):
+    """Final cumulative total across all counters matching ``name``."""
+    total = 0.0
+    for instrument in select(registry, name, labels):
+        total += instrument.read()
+    return total
+
+
+# --- JSON ----------------------------------------------------------------
+def labels_text(labels):
+    """Canonical ``k=v;...`` rendering of a label dict (sorted;
+    semicolon-joined so the text is safe inside one CSV field)."""
+    return ";".join("%s=%s" % (k, v) for k, v in sorted(labels.items()))
+
+
+def series_json(registry, max_windows=None):
+    """The dashboard series schema: one entry per instrument with its
+    kind, labels and per-window points (cumulative value + delta)."""
+    windows = registry.windows
+    if max_windows is not None and len(windows) > max_windows:
+        factor = -(-len(windows) // max_windows)  # ceil division
+        windows = rollup(windows, factor)
+    out = []
+    for instrument in registry.instruments():
+        key = _key(instrument.name, instrument.labels)
+        points, previous = [], None
+        for window in windows:
+            current = window.values.get(key)
+            if current is None:
+                continue
+            step = delta(previous, current)
+            if instrument.kind == "histogram":
+                points.append({"t0": window.t0, "t1": window.t1,
+                               "count": current["count"],
+                               "sum": current["sum"],
+                               "delta_count": step["count"]})
+            elif instrument.kind == "counter":
+                dt = window.t1 - window.t0
+                points.append({"t0": window.t0, "t1": window.t1,
+                               "value": current, "delta": step,
+                               "rate": step / dt if dt > 0 else 0.0})
+            else:
+                points.append({"t0": window.t0, "t1": window.t1,
+                               "value": current})
+            previous = current
+        out.append({"name": instrument.name, "kind": instrument.kind,
+                    "labels": dict(instrument.labels), "windows": points})
+    return out
+
+
+# --- Prometheus text exposition ------------------------------------------
+def _prom_name(name):
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                        for ch in name)
+    return PROMETHEUS_PREFIX + sanitized
+
+
+def _prom_escape(value):
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_labels(labels, extra=None):
+    pairs = [(k, labels[k]) for k in sorted(labels)]
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (k, _prom_escape(v))
+                             for k, v in pairs)
+
+
+def _prom_number(value):
+    return "%.10g" % value
+
+
+def to_prometheus(registry):
+    """Final cumulative state in the Prometheus text format.
+
+    Deterministic: instruments are grouped by metric name (sorted), and
+    within a metric samples are ordered by their sorted label tuples, so
+    two exports of the same run are byte-identical.
+    """
+    by_name = {}
+    for instrument in registry.instruments():
+        by_name.setdefault(instrument.name, []).append(instrument)
+    lines = []
+    for name in sorted(by_name):
+        group = sorted(by_name[name],
+                       key=lambda i: tuple(sorted(i.labels.items())))
+        prom = _prom_name(name)
+        lines.append("# TYPE %s %s" % (prom, group[0].kind))
+        for instrument in group:
+            if instrument.kind == "histogram":
+                snapshot = instrument.snapshot()
+                running = 0
+                for index, count in enumerate(snapshot["counts"]):
+                    running += count
+                    le = ("+Inf" if index >= len(instrument.edges)
+                          else _prom_number(instrument.edges[index]))
+                    lines.append("%s_bucket%s %d" % (
+                        prom,
+                        _prom_labels(instrument.labels, [("le", le)]),
+                        running))
+                lines.append("%s_sum%s %s" % (
+                    prom, _prom_labels(instrument.labels),
+                    _prom_number(snapshot["sum"])))
+                lines.append("%s_count%s %d" % (
+                    prom, _prom_labels(instrument.labels),
+                    snapshot["count"]))
+            else:
+                lines.append("%s%s %s" % (
+                    prom, _prom_labels(instrument.labels),
+                    _prom_number(instrument.read())))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --- CSV -----------------------------------------------------------------
+CSV_HEADER = "metric,labels,kind,t0,t1,value,delta"
+
+
+def csv_lines(registry, world=None):
+    """Long-format rows: one per instrument per window.  For histograms
+    ``value``/``delta`` are the cumulative/windowed observation counts.
+    ``world`` (when given) prepends a world-index column for runs that
+    build several simulators."""
+    header = CSV_HEADER if world is None else "world," + CSV_HEADER
+    lines = [header]
+    for instrument in registry.instruments():
+        key = _key(instrument.name, instrument.labels)
+        label_text = labels_text(instrument.labels)
+        previous = None
+        for window in registry.windows:
+            current = window.values.get(key)
+            if current is None:
+                continue
+            step = delta(previous, current)
+            if instrument.kind == "histogram":
+                value_text = _prom_number(current["count"])
+                delta_text = _prom_number(step["count"])
+            else:
+                value_text = _prom_number(current)
+                delta_text = (_prom_number(step)
+                              if instrument.kind == "counter" else "")
+            row = "%s,%s,%s,%s,%s,%s,%s" % (
+                instrument.name, label_text, instrument.kind,
+                _prom_number(window.t0), _prom_number(window.t1),
+                value_text, delta_text)
+            lines.append(row if world is None else "%s,%s" % (world, row))
+            previous = current
+    return lines

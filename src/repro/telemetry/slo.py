@@ -1,0 +1,296 @@
+"""Declarative SLO rules evaluated over metric windows.
+
+A rule states an *objective* that should hold in every window —
+``p99_write < 50ms``, ``waf < 4``, ``timeouts delta == 0`` — and the
+monitor turns windows that violate it into :class:`AlertEpisode`\\ s
+with fire and clear times.  Two rule modes:
+
+* ``threshold`` — fire after ``for_windows`` consecutive violating
+  windows, clear after ``clear_windows`` consecutive healthy ones;
+* ``burn`` — fire when the violating fraction of the trailing
+  ``lookback`` windows exceeds ``budget`` (an error-budget burn rate),
+  clear when it drops back under.
+
+Rules select a metric by instrument name (optionally a label subset)
+and a ``stat``:
+
+========== =====================================================
+``value``  the cumulative counter value / sampled gauge value
+``delta``  the per-window increase of a counter or histogram count
+``rate``   ``delta`` divided by the window length (per second)
+``p50``/``p90``/``p99``/``p999``
+           bucket percentile of the *window's* histogram delta
+``mean``   windowed histogram ``sum / count``
+========== =====================================================
+
+The chaos harness attaches a default rule set built purely from
+host-observable symptoms (timeouts, retries, escalations, read-only
+demotion, in-flight age) — the monitor *detects* gray failures from
+metrics, it is never told about the injection.  Detection latency is
+first-fire time minus first-injection time.
+"""
+
+from .histogram import DEFAULT_LOG_EDGES, percentile_from_counts
+from . import series
+
+OPS = {
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "==": lambda value, threshold: value == threshold,
+    "!=": lambda value, threshold: value != threshold,
+}
+
+PERCENTILE_STATS = {"p50": 0.50, "p90": 0.90, "p99": 0.99, "p999": 0.999}
+
+
+class SLORule:
+    """One objective: ``stat(metric) op threshold`` must hold per window."""
+
+    def __init__(self, name, metric, stat="value", labels=None, op="<",
+                 threshold=0.0, for_windows=1, clear_windows=1,
+                 mode="threshold", lookback=8, budget=0.5):
+        if op not in OPS:
+            raise ValueError("unknown SLO op %r (have: %s)"
+                             % (op, ", ".join(sorted(OPS))))
+        if mode not in ("threshold", "burn"):
+            raise ValueError("unknown SLO mode %r" % (mode,))
+        if stat not in ("value", "delta", "rate", "mean") \
+                and stat not in PERCENTILE_STATS:
+            raise ValueError("unknown SLO stat %r" % (stat,))
+        self.name = name
+        self.metric = metric
+        self.stat = stat
+        self.labels = dict(labels) if labels else None
+        self.op = op
+        self.threshold = threshold
+        self.for_windows = max(1, int(for_windows))
+        self.clear_windows = max(1, int(clear_windows))
+        self.mode = mode
+        self.lookback = max(1, int(lookback))
+        self.budget = budget
+
+    def objective_text(self):
+        selector = self.metric
+        if self.labels:
+            selector += "{%s}" % series.labels_text(self.labels)
+        return "%s(%s) %s %g" % (self.stat, selector, self.op,
+                                 self.threshold)
+
+    def holds(self, value):
+        return OPS[self.op](value, self.threshold)
+
+    def to_json(self):
+        out = {"name": self.name, "metric": self.metric, "stat": self.stat,
+               "op": self.op, "threshold": self.threshold,
+               "mode": self.mode}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        if self.mode == "burn":
+            out["lookback"] = self.lookback
+            out["budget"] = self.budget
+        else:
+            out["for_windows"] = self.for_windows
+            out["clear_windows"] = self.clear_windows
+        return out
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(**data)
+
+
+class AlertEpisode:
+    """One contiguous alert: fired at a window boundary, cleared later
+    (or still firing at end of run)."""
+
+    __slots__ = ("rule", "fired_at", "cleared_at", "worst_value",
+                 "violating_windows")
+
+    def __init__(self, rule, fired_at):
+        self.rule = rule
+        self.fired_at = fired_at
+        self.cleared_at = None
+        self.worst_value = None
+        self.violating_windows = 0
+
+    def note_violation(self, value):
+        self.violating_windows += 1
+        if value is None:
+            return
+        if self.worst_value is None:
+            self.worst_value = value
+        elif self.rule.holds(self.worst_value) or \
+                not self.rule.holds(value):
+            # keep the most objective-violating value seen: any
+            # violating value beats a holding one, and among violating
+            # values the comparison direction of the op decides.
+            if self.rule.op in ("<", "<="):
+                self.worst_value = max(self.worst_value, value)
+            elif self.rule.op in (">", ">="):
+                self.worst_value = min(self.worst_value, value)
+            else:
+                self.worst_value = value
+
+    def to_json(self):
+        return {"rule": self.rule.name,
+                "objective": self.rule.objective_text(),
+                "fired_at_s": self.fired_at,
+                "cleared_at_s": self.cleared_at,
+                "worst_value": self.worst_value,
+                "violating_windows": self.violating_windows}
+
+
+class RuleOutcome:
+    """Per-rule evaluation summary plus its alert episodes."""
+
+    __slots__ = ("rule", "evaluations", "violations", "episodes")
+
+    def __init__(self, rule):
+        self.rule = rule
+        self.evaluations = 0
+        self.violations = 0
+        self.episodes = []
+
+    def to_json(self):
+        return {"rule": self.rule.to_json(),
+                "objective": self.rule.objective_text(),
+                "evaluations": self.evaluations,
+                "violations": self.violations,
+                "episodes": [episode.to_json()
+                             for episode in self.episodes]}
+
+
+def _stat_value(rule, kind, cumulative, previous, dt):
+    step = series.delta(previous, cumulative)
+    if kind == "histogram":
+        if rule.stat in PERCENTILE_STATS:
+            # percentile of this window's observations only
+            return percentile_from_counts(step["counts"], DEFAULT_LOG_EDGES,
+                                          PERCENTILE_STATS[rule.stat],
+                                          upper=step["max"])
+        if rule.stat == "mean":
+            return step["sum"] / step["count"] if step["count"] else 0.0
+        if rule.stat == "delta":
+            return float(step["count"])
+        if rule.stat == "rate":
+            return step["count"] / dt if dt > 0 else 0.0
+        return float(cumulative["count"])
+    if rule.stat == "delta":
+        return step
+    if rule.stat == "rate":
+        return step / dt if dt > 0 else 0.0
+    return cumulative
+
+
+class SLOMonitor:
+    """Evaluates a rule set against a registry's closed windows."""
+
+    def __init__(self, registry, rules):
+        self.registry = registry
+        self.rules = list(rules)
+
+    def evaluate(self):
+        """Run every rule over every window; returns ``[RuleOutcome]``
+        in rule order (alerts inside, in fire order)."""
+        outcomes = []
+        windows = self.registry.windows
+        for rule in self.rules:
+            outcome = RuleOutcome(rule)
+            outcomes.append(outcome)
+            kind, cumulatives = series.aggregate_window_values(
+                self.registry, rule.metric, rule.labels)
+            if kind is None:
+                continue
+            violating = []      # per-window booleans
+            open_episode = None
+            streak_bad = streak_good = 0
+            previous = None
+            for index, window in enumerate(windows):
+                cumulative = cumulatives[index]
+                if cumulative is None:
+                    continue
+                value = _stat_value(rule, kind, cumulative, previous,
+                                    window.t1 - window.t0)
+                previous = cumulative
+                bad = not rule.holds(value)
+                outcome.evaluations += 1
+                violating.append(bad)
+                if bad:
+                    outcome.violations += 1
+                    streak_bad += 1
+                    streak_good = 0
+                else:
+                    streak_good += 1
+                    streak_bad = 0
+                if rule.mode == "burn":
+                    recent = violating[-rule.lookback:]
+                    burning = (sum(recent) / float(len(recent))
+                               > rule.budget)
+                    should_fire, should_clear = burning, not burning
+                else:
+                    should_fire = streak_bad >= rule.for_windows
+                    should_clear = streak_good >= rule.clear_windows
+                if open_episode is None:
+                    if should_fire:
+                        open_episode = AlertEpisode(rule, window.t1)
+                        outcome.episodes.append(open_episode)
+                        open_episode.note_violation(value)
+                else:
+                    if bad:
+                        open_episode.note_violation(value)
+                    if should_clear:
+                        open_episode.cleared_at = window.t1
+                        open_episode = None
+            outcome.episodes = [episode for episode in outcome.episodes]
+        return outcomes
+
+    def alerts(self):
+        """All fired episodes across rules, in fire-time order."""
+        episodes = []
+        for outcome in self.evaluate():
+            episodes.extend(outcome.episodes)
+        episodes.sort(key=lambda episode: episode.fired_at)
+        return episodes
+
+
+# --- default rule sets ---------------------------------------------------
+def default_chaos_rules(deadline=0.01):
+    """Gray-failure detection from host-observable symptoms only.
+
+    A healthy run violates none of these: the lifecycle counters stay
+    flat, nobody demotes to read-only, and no in-flight command ages to
+    the timeout deadline (it would have timed out).
+    """
+    return [
+        SLORule("device_timeouts", "host.timeouts", stat="delta",
+                op="==", threshold=0.0),
+        SLORule("command_retries", "host.retries", stat="delta",
+                op="==", threshold=0.0),
+        SLORule("host_escalations", "host.escalations", stat="delta",
+                op="==", threshold=0.0),
+        SLORule("read_only_demotion", "db.read_only", stat="value",
+                op="==", threshold=0.0),
+        SLORule("inflight_stall", "host.inflight_age", stat="value",
+                op="<", threshold=deadline),
+        SLORule("timeout_burn", "host.timeouts", stat="delta",
+                op="==", threshold=0.0, mode="burn", lookback=8,
+                budget=0.25),
+    ]
+
+
+def default_bench_rules():
+    """Steady-state health objectives for bench/monitor runs."""
+    return [
+        SLORule("p99_write", "workload.write_latency", stat="p99",
+                op="<", threshold=0.050),
+        SLORule("p99_read", "workload.read_latency", stat="p99",
+                op="<", threshold=0.050),
+        SLORule("waf", "flash.waf", stat="value", op="<", threshold=4.0),
+        SLORule("read_only_demotion", "db.read_only", stat="value",
+                op="==", threshold=0.0),
+        SLORule("device_timeouts", "host.timeouts", stat="delta",
+                op="==", threshold=0.0),
+        SLORule("capacitor_health", "device.capacitor_health",
+                stat="value", op=">=", threshold=0.5),
+    ]

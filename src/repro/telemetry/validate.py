@@ -10,6 +10,9 @@ smoke jobs run::
     python -m repro explain linkbench --quick --json report.json
     python -m repro.telemetry.validate --explain report.json
 
+    REPRO_QUICK=1 python -m repro monitor figure5 --quiet --json dash.json
+    python -m repro.telemetry.validate --monitor dash.json
+
 The Chrome checks cover exactly what downstream viewers require: the
 JSON Object Format envelope, per-phase mandatory fields, non-negative
 durations, and (optionally) a minimum number of named layer tracks.
@@ -162,6 +165,73 @@ def validate_explain_report(report, other_budget=None):
     return check(report, **kwargs)
 
 
+def validate_monitor_report(report):
+    """Schema checks for a ``repro.monitor/1`` dashboard report.
+
+    Covers what downstream dashboards require: at least one closed
+    window, series entries with a known kind and monotone window
+    boundaries, at least one SLO rule that actually evaluated, and a
+    SMART report list.
+    """
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    errors = []
+    if report.get("schema") != "repro.monitor/1":
+        errors.append("schema must be 'repro.monitor/1' (got %r)"
+                      % (report.get("schema"),))
+    if not isinstance(report.get("windows"), int) \
+            or report.get("windows", 0) < 1:
+        errors.append("'windows' must be a positive window count")
+    series = report.get("series")
+    if not isinstance(series, list) or not series:
+        errors.append("report needs a non-empty 'series' list")
+        series = []
+    populated = 0
+    for index, entry in enumerate(series):
+        where = "series[%d]" % index
+        if not isinstance(entry, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        if entry.get("kind") not in ("counter", "gauge", "histogram"):
+            errors.append("%s: bad kind %r" % (where, entry.get("kind")))
+        if not entry.get("name"):
+            errors.append("%s: missing name" % where)
+        points = entry.get("windows")
+        if not isinstance(points, list):
+            errors.append("%s: missing windows list" % where)
+            continue
+        previous_t1 = None
+        for point in points:
+            t0, t1 = point.get("t0"), point.get("t1")
+            if not isinstance(t0, (int, float)) \
+                    or not isinstance(t1, (int, float)) or t1 <= t0:
+                errors.append("%s: window needs t0 < t1 (got %r..%r)"
+                              % (where, t0, t1))
+                break
+            if previous_t1 is not None and t0 < previous_t1:
+                errors.append("%s: windows overlap (%r < %r)"
+                              % (where, t0, previous_t1))
+                break
+            previous_t1 = t1
+        if points:
+            populated += 1
+    if series and not populated:
+        errors.append("every series entry is empty — no window data")
+    slo = report.get("slo")
+    if not isinstance(slo, dict) or not isinstance(slo.get("rules"), list) \
+            or not slo.get("rules"):
+        errors.append("report needs a non-empty 'slo.rules' list")
+    elif not any(rule.get("evaluations", 0) >= 1
+                 for rule in slo["rules"] if isinstance(rule, dict)):
+        errors.append("no SLO rule evaluated even one window")
+    if not isinstance(slo, dict) or not isinstance(slo.get("alerts"),
+                                                   list):
+        errors.append("report needs an 'slo.alerts' list")
+    if not isinstance(report.get("smart"), list):
+        errors.append("report needs a 'smart' device-report list")
+    return errors
+
+
 def validate_trace_file(path, min_tracks=0, require_tracks=(),
                         check_probe_attrs=False):
     """Load ``path`` and validate it; returns (errors, stats dict)."""
@@ -190,6 +260,7 @@ def main(argv=None):
     paths = []
     check_attrs = False
     explain_mode = False
+    monitor_mode = False
     while argv:
         arg = argv.pop(0)
         if arg == "--min-tracks":
@@ -200,6 +271,8 @@ def main(argv=None):
             check_attrs = True
         elif arg == "--explain":
             explain_mode = True
+        elif arg == "--monitor":
+            monitor_mode = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -208,8 +281,31 @@ def main(argv=None):
     if not paths:
         print("usage: python -m repro.telemetry.validate TRACE.json "
               "[--min-tracks N] [--require-tracks a,b,c] "
-              "[--check-probe-attrs] | --explain REPORT.json")
+              "[--check-probe-attrs] | --explain REPORT.json "
+              "| --monitor DASH.json")
         return 2
+    if monitor_mode:
+        status = 0
+        for path in paths:
+            try:
+                with open(path) as handle:
+                    report = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print("%s: INVALID\n  - cannot load: %s" % (path, exc))
+                status = 1
+                continue
+            errors = validate_monitor_report(report)
+            if errors:
+                status = 1
+                print("%s: INVALID" % path)
+                for error in errors:
+                    print("  - %s" % error)
+            else:
+                print("%s: OK (%s; %d windows, %d series, %d alerts)"
+                      % (path, report["schema"], report["windows"],
+                         len(report["series"]),
+                         len(report["slo"]["alerts"])))
+        return status
     if explain_mode:
         status = 0
         for path in paths:

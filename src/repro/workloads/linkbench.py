@@ -132,6 +132,12 @@ class LinkBenchWorkload:
                                                COUNT_ROW_BYTES)
         self._weights = [weight for _n, weight, _k in OPERATION_MIX]
         self._kinds = {name: kind for name, _w, kind in OPERATION_MIX}
+        metrics = engine.sim.telemetry.metrics
+        self._op_counter = metrics.counter("workload.ops")
+        self._latency_hists = {
+            "read": metrics.histogram("workload.read_latency"),
+            "write": metrics.histogram("workload.write_latency"),
+        }
 
     def db_pages(self):
         return (self.node_table.total_pages + self.link_table.total_pages
@@ -265,6 +271,8 @@ class LinkBenchWorkload:
                               else result.writes)
                     target.record(latency)
                     result.meter.record(sim.now)
+                    self._op_counter.inc()
+                    self._latency_hists[self._kinds[name]].observe(latency)
 
         done = sim.all_of([sim.process(client(i)) for i in range(clients)])
         sim.run_until(done)

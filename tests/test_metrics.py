@@ -1,0 +1,358 @@
+"""Tests for the continuous-metrics registry, series math and exporters.
+
+Covers the subsystem's documented guarantees: zero overhead and
+byte-identical results when disabled, deterministic window collection on
+the simulated clock, cumulative-snapshot semantics (deltas/rollups are
+exact), and the Prometheus/CSV export formats (label escaping, sample
+ordering, cumulative buckets).
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.telemetry import (
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.telemetry import series as series_mod
+from repro.telemetry.histogram import DEFAULT_LOG_EDGES
+from repro.telemetry.metrics import _key
+
+
+def metric_sim(interval=0.01):
+    registry = MetricsRegistry(interval=interval)
+    telemetry = Telemetry(enabled=False, metrics=registry)
+    return Simulator(telemetry), registry
+
+
+# --- zero overhead when disabled -----------------------------------------
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_the_shared_noop(self):
+        sim = Simulator()
+        metrics = sim.telemetry.metrics
+        assert not metrics.active
+        counter = metrics.counter("db.commits", engine="innodb")
+        gauge = metrics.gauge("db.read_only")
+        histogram = metrics.histogram("host.cmd_latency")
+        assert counter is NULL_INSTRUMENT
+        assert gauge is NULL_INSTRUMENT
+        assert histogram is NULL_INSTRUMENT
+        counter.inc()
+        gauge.set(3.0)
+        histogram.observe(0.5)
+        assert metrics.instruments() == []
+        assert metrics.windows == []
+
+    def test_disabled_registry_does_not_arm_the_clock_tick(self):
+        sim = Simulator()
+        assert sim._tick is None
+
+    def test_enabled_registry_arms_the_clock_tick(self):
+        sim, _registry = metric_sim()
+        assert sim._tick is not None
+
+    def test_event_stream_identical_with_and_without_metrics(self):
+        def run(sim):
+            counter = sim.telemetry.metrics.counter("test.ops")
+
+            def body():
+                for _ in range(5):
+                    yield sim.timeout(0.004)
+                    counter.inc()
+
+            sim.process(body())
+            sim.run()
+            return sim.now
+
+        plain = run(Simulator())
+        armed_sim, registry = metric_sim()
+        armed = run(armed_sim)
+        assert plain == armed
+        assert len(registry.windows) == 2  # boundaries at 0.01, 0.02
+
+
+# --- window collection ----------------------------------------------------
+class TestWindowing:
+    def run_counter_world(self, interval=0.01, steps=10, step=0.004):
+        sim, registry = metric_sim(interval)
+        counter = registry.counter("test.ops")
+
+        def body():
+            for _ in range(steps):
+                yield sim.timeout(step)
+                counter.inc()
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        return registry
+
+    def test_windows_hold_cumulative_snapshots(self):
+        registry = self.run_counter_world()
+        key = _key("test.ops", {})
+        values = [window.values[key] for window in registry.windows]
+        # increments at 0.004k, boundaries every 0.01.  Each boundary
+        # snapshots when the clock arrives there (the 0.02 window sees
+        # the incs at 0.012/0.016, not the one at 0.02); the run ends
+        # on the 0.04 boundary, which finish() refreshes to the final
+        # total.
+        assert values == [2, 4, 7, 10]
+
+    def test_windows_are_contiguous(self):
+        registry = self.run_counter_world()
+        for before, after in zip(registry.windows, registry.windows[1:]):
+            assert before.t1 == after.t0
+            assert after.t1 > after.t0
+
+    def test_finish_is_idempotent(self):
+        registry = self.run_counter_world()
+        count = len(registry.windows)
+        registry.finish()
+        assert len(registry.windows) == count
+
+    def test_finish_skips_float_dust_sliver(self):
+        sim, registry = metric_sim(0.01)
+        counter = registry.counter("test.ops")
+
+        def body():
+            for _ in range(4):
+                yield sim.timeout(0.01)
+                counter.inc()
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        for window in registry.windows:
+            assert window.t1 - window.t0 > registry.interval * 1e-3
+
+    def test_reregistration_returns_the_same_instrument(self):
+        _sim, registry = metric_sim()
+        first = registry.counter("a.b", device="x")
+        second = registry.counter("a.b", device="x")
+        other = registry.counter("a.b", device="y")
+        assert first is second
+        assert first is not other
+        assert len(registry.instruments()) == 2
+
+    def test_callback_instruments_read_live_state(self):
+        sim, registry = metric_sim(0.01)
+        state = {"value": 0}
+        registry.gauge("test.level", fn=lambda: state["value"])
+
+        def body():
+            for index in range(3):
+                state["value"] = index + 10
+                yield sim.timeout(0.01)
+
+        sim.process(body())
+        sim.run()
+        key = _key("test.level", {})
+        values = [window.values[key] for window in registry.windows]
+        assert values == [10, 11, 12]
+
+
+# --- series math ----------------------------------------------------------
+class TestSeriesMath:
+    def test_window_deltas_of_counters(self):
+        sim, registry = metric_sim(0.01)
+        counter = registry.counter("test.ops")
+
+        def body():
+            for _ in range(10):
+                yield sim.timeout(0.004)
+                counter.inc()
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        deltas = series_mod.window_deltas(registry.windows,
+                                          _key("test.ops", {}))
+        assert deltas == [2, 2, 3, 3]
+        assert sum(deltas) == 10
+
+    def test_rollup_preserves_totals_and_time_range(self):
+        sim, registry = metric_sim(0.01)
+        counter = registry.counter("test.ops")
+
+        def body():
+            for _ in range(12):
+                yield sim.timeout(0.005)
+                counter.inc()
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        windows = registry.windows
+        merged = series_mod.rollup(windows, 2)
+        key = _key("test.ops", {})
+        assert merged[0].t0 == windows[0].t0
+        assert merged[-1].t1 == windows[-1].t1
+        assert sum(series_mod.window_deltas(merged, key)) \
+            == sum(series_mod.window_deltas(windows, key))
+        # cumulative snapshots: a merged window is its last member's
+        assert merged[0].values[key] == windows[1].values[key]
+
+    def test_rollup_keeps_trailing_partial_group(self):
+        sim, registry = metric_sim(0.01)
+        registry.counter("test.ops")
+
+        def body():
+            yield sim.timeout(0.05)
+
+        sim.process(body())
+        sim.run()
+        merged = series_mod.rollup(registry.windows, 2)
+        assert len(merged) == 3  # 2 + 2 + 1
+
+    def test_rollup_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            series_mod.rollup([], 0)
+
+    def test_histogram_window_delta(self):
+        sim, registry = metric_sim(0.01)
+        histogram = registry.histogram("test.lat")
+
+        def body():
+            yield sim.timeout(0.005)
+            histogram.observe(0.002)
+            yield sim.timeout(0.01)
+            histogram.observe(0.004)
+            histogram.observe(0.006)
+            yield sim.timeout(0.01)
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        deltas = series_mod.window_deltas(registry.windows,
+                                          _key("test.lat", {}))
+        assert [d["count"] for d in deltas] == [1, 2, 0]
+        assert sum(d["sum"] for d in deltas) == pytest.approx(0.012)
+
+    def test_aggregate_sums_counters_across_labels(self):
+        sim, registry = metric_sim(0.01)
+        a = registry.counter("host.timeouts", device="a")
+        b = registry.counter("host.timeouts", device="b")
+
+        def body():
+            yield sim.timeout(0.005)
+            a.inc(2)
+            b.inc(3)
+            yield sim.timeout(0.01)
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        kind, values = series_mod.aggregate_window_values(
+            registry, "host.timeouts")
+        assert kind == "counter"
+        assert values[-1] == 5
+        assert series_mod.counter_total(registry, "host.timeouts") == 5
+        only_a = series_mod.counter_total(registry, "host.timeouts",
+                                          labels={"device": "a"})
+        assert only_a == 2
+
+
+# --- Prometheus text format ----------------------------------------------
+class TestPrometheusExport:
+    def build_registry(self):
+        _sim, registry = metric_sim()
+        registry.counter("db.commits", engine="innodb").inc(3)
+        registry.gauge("device.inflight", device="b").set(2.0)
+        registry.gauge("device.inflight", device="a").set(1.0)
+        return registry
+
+    def test_prefix_and_name_sanitization(self):
+        text = series_mod.to_prometheus(self.build_registry())
+        assert "repro_db_commits" in text
+        assert "db.commits" not in text
+
+    def test_type_line_precedes_samples(self):
+        lines = series_mod.to_prometheus(self.build_registry()).splitlines()
+        index = lines.index("# TYPE repro_db_commits counter")
+        assert lines[index + 1].startswith("repro_db_commits{")
+
+    def test_samples_ordered_by_name_then_labels(self):
+        lines = series_mod.to_prometheus(self.build_registry()).splitlines()
+        samples = [line for line in lines
+                   if line.startswith("repro_device_inflight")]
+        # registration order was b, a — export must sort by labels
+        assert samples == ['repro_device_inflight{device="a"} 1',
+                           'repro_device_inflight{device="b"} 2']
+
+    def test_export_is_deterministic(self):
+        registry = self.build_registry()
+        assert series_mod.to_prometheus(registry) \
+            == series_mod.to_prometheus(registry)
+
+    def test_label_value_escaping(self):
+        _sim, registry = metric_sim()
+        registry.counter("test.ops", path='a\\b"c\nd').inc()
+        text = series_mod.to_prometheus(registry)
+        assert '{path="a\\\\b\\"c\\nd"}' in text
+        assert "\n" in text  # real newlines only between samples
+        sample = [line for line in text.splitlines()
+                  if line.startswith("repro_test_ops")][0]
+        assert sample == 'repro_test_ops{path="a\\\\b\\"c\\nd"} 1'
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        _sim, registry = metric_sim()
+        histogram = registry.histogram("test.lat", device="x")
+        for value in (1e-5, 1e-5, 1e-3, 5.0):
+            histogram.observe(value)
+        lines = series_mod.to_prometheus(registry).splitlines()
+        buckets = [line for line in lines if "_bucket" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 4
+        assert len(buckets) == len(DEFAULT_LOG_EDGES) + 1
+        assert buckets[-1].rsplit(" ", 1)[0].endswith('le="+Inf"}')
+        # le must come after the instrument's own labels
+        assert 'device="x",le=' in buckets[0]
+        assert 'repro_test_lat_sum{device="x"}' \
+            in "\n".join(lines)
+        assert 'repro_test_lat_count{device="x"} 4' in lines
+
+    def test_empty_registry_exports_empty_text(self):
+        _sim, registry = metric_sim()
+        assert series_mod.to_prometheus(registry) == ""
+
+
+# --- CSV export -----------------------------------------------------------
+class TestCSVExport:
+    def test_long_format_shape(self):
+        sim, registry = metric_sim(0.01)
+        counter = registry.counter("test.ops", device="log")
+
+        def body():
+            for _ in range(4):
+                yield sim.timeout(0.005)
+                counter.inc()
+
+        sim.process(body())
+        sim.run()
+        registry.finish()
+        lines = series_mod.csv_lines(registry)
+        assert lines[0] == series_mod.CSV_HEADER
+        assert all(line.count(",") == lines[0].count(",")
+                   for line in lines)
+        first = lines[1].split(",")
+        assert first[0] == "test.ops"
+        assert first[1] == "device=log"
+        assert first[2] == "counter"
+
+    def test_world_column_prefix(self):
+        _sim, registry = metric_sim()
+        registry.counter("test.ops")
+        registry.finish(now=0.02)
+        lines = series_mod.csv_lines(registry, world=3)
+        assert lines[0].startswith("world,")
+        assert lines[1].startswith("3,")
+
+    def test_multi_label_values_stay_in_one_field(self):
+        _sim, registry = metric_sim()
+        registry.counter("test.ops", device="a", engine="b")
+        registry.finish(now=0.02)
+        lines = series_mod.csv_lines(registry)
+        row = lines[1].split(",")
+        assert row[1] == "device=a;engine=b"
