@@ -15,10 +15,15 @@ Usage::
 
     python -m repro chaos --seeds 20                # gray-failure sweeps
     python -m repro chaos --smoke                   # CI chaos gate
+    python -m repro chaos --corruption bit-rot --mirror 2
     python -m repro table1 --gray-faults mild       # benches on a sick device
+
+    python -m repro integrity                       # corruption vs defenses
+    python -m repro integrity --smoke               # CI integrity gate
 
     python -m repro scaling                         # stripe-width sweep
     python -m repro figure5 --devices 4             # any bench, striped data
+    python -m repro figure5 --mirror 2              # any bench, mirrored data
     python -m repro table5 --log-device             # dedicated log placement
 
     python -m repro explain linkbench               # latency blame report
@@ -38,6 +43,7 @@ from .bench import (
     explain,
     figure5,
     figure6,
+    integrity,
     monitor,
     regress,
     scaling,
@@ -117,6 +123,8 @@ def main(argv=None):
         return torture.main(argv[1:])
     if target == "chaos":
         return chaos.main(argv[1:])
+    if target == "integrity":
+        return integrity.main(argv[1:])
     if target == "scaling":
         return scaling.main(argv[1:])
     if target == "explain":
@@ -137,18 +145,24 @@ def main(argv=None):
         index = argv.index("--metrics-interval")
         setups.set_metrics_interval(float(argv[index + 1]))
         argv = argv[:index] + argv[index + 2:]
-    if "--devices" in argv or "--log-device" in argv:
-        # Run any bench table on a striped data target and/or with the
-        # log placed on a dedicated device.
+    if "--devices" in argv or "--mirror" in argv or "--log-device" in argv:
+        # Run any bench table on a striped or mirrored data target
+        # and/or with the log placed on a dedicated device.
         width = 1
         if "--devices" in argv:
             index = argv.index("--devices")
             width = int(argv[index + 1])
             argv = argv[:index] + argv[index + 2:]
+        mirror = 1
+        if "--mirror" in argv:
+            index = argv.index("--mirror")
+            mirror = int(argv[index + 1])
+            argv = argv[:index] + argv[index + 2:]
         dedicated_log = "--log-device" in argv
         if dedicated_log:
             argv = [arg for arg in argv if arg != "--log-device"]
-        setups.set_topology(data_devices=width, dedicated_log=dedicated_log)
+        setups.set_topology(data_devices=width, dedicated_log=dedicated_log,
+                            mirror=mirror)
     if target == "all":
         for name in ORDER:
             print("=" * 70)

@@ -5,6 +5,7 @@ Usage::
     python -m repro chaos                          # durassd/innodb, all profiles
     python -m repro chaos innodb ssd-a --profile gc-storm --seeds 20
     python -m repro chaos --smoke                  # CI: every preset, quick
+    python -m repro chaos --corruption bit-rot --mirror 2
     python -m repro chaos --seeds 20 --out repro.json
     python -m repro chaos --replay repro.json
 
@@ -25,7 +26,7 @@ import time
 
 from ..failures import chaos as harness
 from . import setups
-from .scenarios import GRAY_PROFILES
+from .scenarios import CORRUPTION_PROFILES, GRAY_PROFILES
 
 DEVICES = ("hdd", "ssd-a", "ssd-b", "durassd")
 
@@ -36,10 +37,13 @@ SMOKE_BASE_OPS = 40
 
 
 def run_profile(engine, device, profile, seed, ops, gray_target="both",
-                stripe=1):
+                stripe=1, corruption=None, mirror=1, checksums=None,
+                scrub=None):
     scenario = harness.chaos_scenario(engine=engine, device=device,
                                       profile=profile, seed=seed, ops=ops,
-                                      gray_target=gray_target, stripe=stripe)
+                                      gray_target=gray_target, stripe=stripe,
+                                      corruption=corruption, mirror=mirror,
+                                      checksums=checksums, scrub=scrub)
     result = harness.run_chaos(scenario)
     return scenario, result
 
@@ -103,19 +107,55 @@ def smoke(ops=None, seed=11):
                   time.time() - begin)
     if result.failed or not result.completed:
         exit_code = 1
+    # Silent corruption against an armed defense: bit rot on both
+    # mirror replicas (independent salts), checksums verifying every
+    # read, the scrubber patrolling in the background.  The stream must
+    # complete with zero undetected corrupt reads (the passive audit
+    # layer is the oracle) and the integrity SLO rules must fire so the
+    # verdict carries a corruption-detection latency.  Floor the op
+    # count: corruption surfaces only once reads miss the caches.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "none",
+                                    seed, max(ops * 5, 200),
+                                    corruption="corruption-mix", mirror=2)
+    _print_result("innodb/durassd/corruption-mix (mirror=2)", result,
+                  time.time() - begin)
+    if result.failed or not result.completed:
+        exit_code = 1
+    if result.undetected_corrupt_reads:
+        print("    undetected corrupt reads: %d"
+              % result.undetected_corrupt_reads)
+        exit_code = 1
+    if not result.alerts:
+        print("    corruption fired no SLO alert")
+        exit_code = 1
+    # False-positive control: same defenses armed, no corruption
+    # injected.  The integrity rules must stay silent.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "none",
+                                    seed, max(ops, SMOKE_BASE_OPS),
+                                    mirror=2, checksums=True, scrub=True)
+    _print_result("innodb/durassd/none (mirror=2, armed)", result,
+                  time.time() - begin)
+    if result.failed or not result.completed:
+        exit_code = 1
     print("chaos smoke: %s" % ("ok" if exit_code == 0 else "FAILED"))
     return exit_code
 
 
 def sweep_seeds(engine, device, profile, seeds, ops, base_seed=0,
-                out_path=None):
+                out_path=None, corruption=None, mirror=1):
     """``seeds`` independent runs of one profile; minimize the first
     failure to a replayable artifact when ``--out`` is given."""
     exit_code = 0
     for seed in range(base_seed, base_seed + seeds):
         begin = time.time()
-        scenario, result = run_profile(engine, device, profile, seed, ops)
-        _print_result("%s/%s/%s seed=%d" % (engine, device, profile, seed),
+        scenario, result = run_profile(engine, device, profile, seed, ops,
+                                       corruption=corruption, mirror=mirror)
+        label = "%s/%s/%s" % (engine, device, profile)
+        if corruption:
+            label += "+%s" % corruption
+        _print_result("%s seed=%d" % (label, seed),
                       result, time.time() - begin)
         if result.failed or not result.completed:
             exit_code = 1
@@ -153,6 +193,9 @@ def main(argv=None):
         print("profiles:")
         for line in GRAY_PROFILES.listing():
             print(line)
+        print("corruption profiles (--corruption NAME):")
+        for line in CORRUPTION_PROFILES.listing():
+            print(line)
         return 0
 
     def take_option(name, default=None):
@@ -172,6 +215,8 @@ def main(argv=None):
     seeds = int(take_option("--seeds", "1"))
     profile = take_option("--profile")
     out_path = take_option("--out")
+    corruption = take_option("--corruption")
+    mirror = int(take_option("--mirror", "1"))
     if replay_path:
         return replay(replay_path)
     if smoke_mode:
@@ -184,12 +229,22 @@ def main(argv=None):
         print("no gray-fault profile %r (have: %s)"
               % (profile, ", ".join(GRAY_PROFILES.names())))
         return 2
-    profiles = [profile] if profile else [name for name in GRAY_PROFILES
-                                          if name != "none"]
+    if corruption and corruption not in CORRUPTION_PROFILES:
+        print("no corruption profile %r (have: %s)"
+              % (corruption, ", ".join(CORRUPTION_PROFILES.names())))
+        return 2
+    if corruption and not profile:
+        # corruption alone is a valid chaos run: default the gray-fault
+        # dimension to the healthy control instead of sweeping it.
+        profiles = ["none"]
+    else:
+        profiles = [profile] if profile else [name for name in GRAY_PROFILES
+                                              if name != "none"]
     exit_code = 0
     for name in profiles:
         code = sweep_seeds(engine, device, name, seeds, ops,
-                           base_seed=seed, out_path=out_path)
+                           base_seed=seed, out_path=out_path,
+                           corruption=corruption, mirror=mirror)
         exit_code = exit_code or code
     return exit_code
 

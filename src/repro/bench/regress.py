@@ -35,7 +35,12 @@ P99_TOLERANCE = 0.05
 SMOKE_TOLERANCE = 0.25
 
 
+SECTIONS = ("throughput", "log_placement", "mirroring")
+
+
 def _key(record):
+    if "mirror" in record:
+        return ("mirroring", record["mode"], record["mirror"])
     if "mode" in record:
         return ("throughput", record["mode"], record["width"])
     return ("log_placement", record["config"], record["width"])
@@ -48,11 +53,10 @@ def compare(baseline, fresh, tps_tol=TPS_TOLERANCE, p99_tol=P99_TOLERANCE):
     a TPS drop or a p99 rise beyond its relative tolerance; baseline
     cells the fresh run did not cover (``--smoke``) are skipped.
     """
-    fresh_by_key = {_key(r): r for section in ("throughput",
-                                               "log_placement")
+    fresh_by_key = {_key(r): r for section in SECTIONS
                     for r in fresh.get(section, ())}
     rows, failures = [], []
-    for section in ("throughput", "log_placement"):
+    for section in SECTIONS:
         for base_rec in baseline.get(section, ()):
             key = _key(base_rec)
             fresh_rec = fresh_by_key.get(key)
@@ -100,6 +104,7 @@ def run_fresh(baseline, smoke=False):
                   % (label, width, record["tps"],
                      record["p99_write_s"] * 1e3))
     placement = []
+    mirroring = []
     if not smoke:
         for base_rec in baseline.get("log_placement", ()):
             record = scaling.run_placement(
@@ -109,7 +114,17 @@ def run_fresh(baseline, smoke=False):
             print("  ran log %-10s width=%d  %8.0f tps  p99=%.2fms"
                   % (record["config"], record["width"], record["tps"],
                      record["p99_write_s"] * 1e3))
-    return {"throughput": throughput, "log_placement": placement}
+        for base_rec in baseline.get("mirroring", ()):
+            record = scaling.run_mirror(
+                base_rec["mirror"],
+                barriers=base_rec["mode"] == "flush-cache",
+                ops_per_client=ops)
+            mirroring.append(record)
+            print("  ran mirror=%d      %8.0f tps  p99=%.2fms"
+                  % (record["mirror"], record["tps"],
+                     record["p99_write_s"] * 1e3))
+    return {"throughput": throughput, "log_placement": placement,
+            "mirroring": mirroring}
 
 
 def format_rows(rows):

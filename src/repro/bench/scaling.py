@@ -10,6 +10,10 @@ this table shows host-level parallelism compounding it.  Two results:
   the WAL *colocated* on the shared data stripe (two file systems over
   region views of one volume, so every log fsync flushes the shared
   members) versus *dedicated* (the paper's separate log drive).
+* **Mirroring overhead** — the width-1 world with its data target
+  replicated across 2 checksum-verified mirrors (RAID-1 with
+  read-repair): the integrity tax in TPS and p99 relative to the bare
+  single device.
 
 Usage::
 
@@ -49,6 +53,8 @@ PAGE_SIZE = 8 * units.KIB
 BUFFER_GB = 2
 
 ABLATION_WIDTH = 2
+
+MIRROR_WIDTH = 2
 
 
 def _measure(engine, sim, clients, ops_per_client):
@@ -138,6 +144,33 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
     return record
 
 
+def run_mirror(mirror, barriers=False, clients=CLIENTS,
+               ops_per_client=None):
+    """One mirroring cell: ``mirror`` replicated data devices (RAID-1,
+    block checksums, read-repair) plus the dedicated log drive.
+    ``mirror`` 1 is the bare single-device world — the overhead
+    baseline."""
+    if ops_per_client is None:
+        ops_per_client = setups.ops_scale(BASE_OPS_PER_CLIENT)
+    sim = setups.fresh_world()
+    db_bytes = setups.scaled_db_bytes()
+    data_target, _members = setups.make_data_target(
+        sim, DEVICE_KIND, int(db_bytes * 2.5), width=1, mirror=mirror)
+    log_device = setups.make_device(
+        sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4),
+        name="%s.log" % DEVICE_KIND)
+    data_fs = FileSystem(sim, data_target, barriers=barriers)
+    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    config = InnoDBConfig(page_size=PAGE_SIZE,
+                          buffer_pool_bytes=setups.scaled(BUFFER_GB))
+    engine = InnoDBEngine(sim, data_fs, log_fs, config)
+    record = _measure(engine, sim, clients, ops_per_client)
+    record.update({"mirror": mirror,
+                   "mode": "durable-cache" if not barriers
+                   else "flush-cache"})
+    return record
+
+
 def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
     """The full sweep; returns the JSON-ready report dict."""
     throughput = []
@@ -152,6 +185,7 @@ def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
                      record["p99_write_s"] * 1e3,
                      record["sim_seconds"], record["wall_seconds"]))
     placement = []
+    mirroring = []
     if ablation:
         for colocated in (False, True):
             record = run_placement(colocated, width=max(
@@ -160,6 +194,12 @@ def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
             placement.append(record)
             print("  log %-10s width=%d  %8.0f tps  p99=%.2fms"
                   % (record["config"], record["width"], record["tps"],
+                     record["p99_write_s"] * 1e3))
+        for mirror in (1, MIRROR_WIDTH):
+            record = run_mirror(mirror, ops_per_client=ops_per_client)
+            mirroring.append(record)
+            print("  mirror=%d      %8.0f tps  p99=%.2fms"
+                  % (mirror, record["tps"],
                      record["p99_write_s"] * 1e3))
     return {
         "benchmark": "scaling",
@@ -170,6 +210,7 @@ def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
         "scale_factor": setups.scale_factor(),
         "throughput": throughput,
         "log_placement": placement,
+        "mirroring": mirroring,
     }
 
 
@@ -198,6 +239,20 @@ def format_table(report):
             lines.append("  %-10s %8.0f tps  p99=%.2fms"
                          % (record["config"], record["tps"],
                             record["p99_write_s"] * 1e3))
+    mirroring = report.get("mirroring", ())
+    if mirroring:
+        lines.append("mirroring overhead (durable-cache, checksummed "
+                     "RAID-1):")
+        base = next((r for r in mirroring if r["mirror"] == 1), None)
+        for record in mirroring:
+            cost = ""
+            if base is not None and record["mirror"] > 1 \
+                    and base["tps"]:
+                cost = "  (%+.1f%% tps)" % (
+                    (record["tps"] - base["tps"]) / base["tps"] * 100)
+            lines.append("  mirror=%d   %8.0f tps  p99=%.2fms%s"
+                         % (record["mirror"], record["tps"],
+                            record["p99_write_s"] * 1e3, cost))
     return "\n".join(lines)
 
 

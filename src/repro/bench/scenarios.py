@@ -11,12 +11,18 @@ Two sets live here because several CLIs share them:
 * :data:`TRACED` — the small traced benchmark worlds (``repro trace``
   and ``repro monitor`` run these);
 * :data:`GRAY_PROFILES` — the named gray-fault profiles (``repro
-  chaos``, ``--gray-faults`` on benches, ``repro monitor``).
+  chaos``, ``--gray-faults`` on benches, ``repro monitor``);
+* :data:`CORRUPTION_PROFILES` — the named silent-corruption profiles
+  (``repro chaos --corruption``, ``repro integrity``).
 
 The explain CLI registers its own set (:mod:`repro.bench.explain`).
 """
 
 from ..devices import make_durassd
+from ..failures.corruption import (
+    CORRUPTION_PROFILES as _CORRUPTION_MAKERS,
+    make_corruption_profile,
+)
 from ..failures.grayfaults import PROFILES
 from ..sim import units
 from . import setups
@@ -140,3 +146,21 @@ for _name, _maker in sorted(PROFILES.items()):
     GRAY_PROFILES.register(
         _name, _PROFILE_DESCRIPTIONS.get(_name, "gray-fault profile"),
         _maker)
+
+
+# --- silent-corruption profiles -----------------------------------------
+_CORRUPTION_DESCRIPTIONS = {
+    "bit-rot": "retention decay: stored blocks silently turn to garbage",
+    "read-disturb": "reads degrade neighbouring data after serving it",
+    "misdirected": "writes silently land on an aliased LBA",
+    "lost-write": "writes acked but never persisted (stale data remains)",
+    "corruption-mix": "all four silent-corruption fault kinds together",
+}
+
+CORRUPTION_PROFILES = ScenarioSet("corruption profile")
+for _name in sorted(_CORRUPTION_MAKERS):
+    CORRUPTION_PROFILES.register(
+        _name,
+        _CORRUPTION_DESCRIPTIONS.get(_name, "silent-corruption profile"),
+        (lambda name: lambda seed=0: make_corruption_profile(name, seed))(
+            _name))

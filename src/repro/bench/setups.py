@@ -11,10 +11,11 @@ policy lives in one place.  Environment knobs:
   device built afterwards carries the named gray-fault profile and every
   file system arms the command-lifecycle timeout stack, so any bench
   table can be rerun against a stalling or hanging device.
-* ``set_topology`` (the ``--devices N`` / ``--log-device`` CLI flags) —
-  data targets built afterwards stripe over N member devices, and the
-  single-drive Couchbase world moves its append log onto a dedicated
-  device via a placement volume.
+* ``set_topology`` (the ``--devices N`` / ``--mirror N`` /
+  ``--log-device`` CLI flags) — data targets built afterwards stripe
+  over N member devices or mirror across N checksum-verified replicas,
+  and the single-drive Couchbase world moves its append log onto a
+  dedicated device via a placement volume.
 """
 
 import os
@@ -24,7 +25,13 @@ from ..db.couchstore import CouchstoreConfig, CouchstoreEngine
 from ..db.innodb import InnoDBConfig, InnoDBEngine
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
 from ..failures.grayfaults import GrayFaultModel, make_profile
-from ..host import FileSystem, PlacementVolume, SingleDevice, StripedVolume
+from ..host import (
+    FileSystem,
+    MirroredVolume,
+    PlacementVolume,
+    SingleDevice,
+    StripedVolume,
+)
 from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 from ..telemetry import MetricsRegistry, Telemetry
@@ -70,26 +77,34 @@ def gray_timeout_policy():
     return TimeoutPolicy(deadline=0.01, backoff_base=1e-3, seed=seed)
 
 
-#: data-target stripe width and dedicated-log placement (set_topology)
-_TOPOLOGY = {"data_devices": 1, "dedicated_log": False}
+#: data-target stripe width, mirroring, dedicated-log placement
+_TOPOLOGY = {"data_devices": 1, "dedicated_log": False, "mirror": 1}
 
 
-def set_topology(data_devices=1, dedicated_log=False):
+def set_topology(data_devices=1, dedicated_log=False, mirror=1):
     """Shape every subsequently built world's block topology.
 
     ``data_devices`` > 1 stripes the data target over that many member
-    devices (RAID-0, per-member queues).  ``dedicated_log`` moves the
-    log of the single-drive Couchbase world onto its own device via a
-    placement volume (the MySQL/commercial worlds already dedicate a
-    log drive).  Width 1 without a dedicated log is the calibrated
+    devices (RAID-0, per-member queues).  ``mirror`` > 1 replicates it
+    instead (RAID-1 with block checksums and read-repair) — mutually
+    exclusive with striping.  ``dedicated_log`` moves the log of the
+    single-drive Couchbase world onto its own device via a placement
+    volume (the MySQL/commercial worlds already dedicate a log drive).
+    Width 1, mirror 1, no dedicated log is the calibrated
     byte-identical path.
     """
     global _TOPOLOGY
     data_devices = int(data_devices)
     if data_devices < 1:
         raise ValueError("data_devices must be >= 1")
+    mirror = int(mirror)
+    if mirror < 1:
+        raise ValueError("mirror must be >= 1")
+    if mirror > 1 and data_devices > 1:
+        raise ValueError("mirror and striping are mutually exclusive")
     _TOPOLOGY = {"data_devices": data_devices,
-                 "dedicated_log": bool(dedicated_log)}
+                 "dedicated_log": bool(dedicated_log),
+                 "mirror": mirror}
 
 
 def topology():
@@ -97,15 +112,25 @@ def topology():
 
 
 def make_data_target(sim, device_kind, capacity_bytes, width=None,
-                     timeout_policy=None):
+                     mirror=None, timeout_policy=None):
     """``(target_or_device, member_devices)`` for the data extent.
 
     Width 1 returns the raw device — :class:`FileSystem` wraps it in a
     :class:`SingleDevice`, keeping the calibrated path byte-identical.
-    Above that, members named ``<kind>.d<i>`` each carry ``capacity /
-    width`` (rounded up) behind their own queue + lifecycle.
+    Striped members named ``<kind>.d<i>`` each carry ``capacity /
+    width`` (rounded up) behind their own queue + lifecycle; mirror
+    replicas named ``<kind>.m<i>`` each carry the full capacity behind
+    a checksum-verified :class:`MirroredVolume`.
     """
     width = _TOPOLOGY["data_devices"] if width is None else width
+    mirror = _TOPOLOGY["mirror"] if mirror is None else mirror
+    if mirror > 1:
+        members = tuple(
+            make_device(sim, device_kind, capacity_bytes=capacity_bytes,
+                        name="%s.m%d" % (device_kind, index))
+            for index in range(mirror))
+        volume = MirroredVolume(sim, members, timeout_policy=timeout_policy)
+        return volume, members
     if width <= 1:
         device = make_device(sim, device_kind, capacity_bytes=capacity_bytes)
         return device, (device,)

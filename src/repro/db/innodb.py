@@ -15,6 +15,7 @@ page cleaner, and the flush-ahead rule (a page never reaches storage
 before its redo records do).
 """
 
+from ..host.integrity import CorruptDataError
 from ..host.lifecycle import DeviceTimeoutError
 from ..sim import units
 from .buffer_pool import BufferPool
@@ -259,9 +260,12 @@ class InnoDBEngine:
                 txn.last_lsn = lsn
                 txn.pages[(table.space_id, leaf_no)] = version
             return version
-        except DeviceTimeoutError as error:
+        except (CorruptDataError, DeviceTimeoutError) as error:
             # A write could not make progress — even when the escalating
             # command was a page *read-in* on the write's B-tree path.
+            # Detected corruption on that path escalates the same way: the
+            # engine fails the statement rather than serve wrong data, and
+            # repeated hits demote it to read-only.
             # (record_escalation dedups against any nested recording.)
             self.degradation.record_escalation(error)
             raise
@@ -283,7 +287,7 @@ class InnoDBEngine:
                 txn.last_lsn = lsn
                 try:
                     yield from self.wal.flush_to(lsn)
-                except DeviceTimeoutError as error:
+                except (CorruptDataError, DeviceTimeoutError) as error:
                     self.degradation.record_escalation(error)
                     raise
             finally:
@@ -311,7 +315,7 @@ class InnoDBEngine:
     def _flush_entries(self, entries):
         try:
             yield from self._flush_entries_inner(entries)
-        except DeviceTimeoutError as error:
+        except (CorruptDataError, DeviceTimeoutError) as error:
             # One recording point for every flush path (cleaner, forced
             # checkpoint, eviction, single-page): the pages stay dirty
             # and will be retried; repeated escalation demotes the
@@ -375,7 +379,7 @@ class InnoDBEngine:
                 entries = [(frame.key[0], frame.key[1], frame.version)
                            for frame in victims]
                 yield from self._flush_entries(entries)
-            except DeviceTimeoutError:
+            except (CorruptDataError, DeviceTimeoutError):
                 # Already recorded by _flush_entries.  The cleaner must
                 # survive a gray device — nobody waits on this process,
                 # so an uncaught exception would crash the simulation.

@@ -8,7 +8,7 @@ real page checksum validates.  A mix of versions (a torn page from a
 partial write) or a TORN sentinel (a shorn block) fails verification.
 """
 
-from ..flash.torn import is_torn
+from ..flash.torn import corrupt_kind, is_corrupt, is_torn
 from ..sim import units
 
 PAGE_MAGIC = "pg"
@@ -43,6 +43,13 @@ def verify_page(space_id, page_no, values):
     for index, value in enumerate(values):
         if is_torn(value):
             raise TornPageError(space_id, page_no, "shorn block %d" % index)
+        if is_corrupt(value):
+            # Any other corrupt sentinel: silent media decay (bit rot,
+            # read disturb) caught by the page checksum, tagged with its
+            # fault kind from the shared taxonomy.
+            raise TornPageError(space_id, page_no,
+                                "corrupt block %d (%s)"
+                                % (index, corrupt_kind(value)))
         if value is None:
             raise TornPageError(space_id, page_no,
                                 "missing block %d of a written page" % index)

@@ -55,8 +55,15 @@ class WriteAheadLog:
         self._checkpoint_bytes = 0
         self._flush_mutex = Mutex(sim)
         self._records_for_recovery = []  # what is durably on the log device
+        # Write-out batches for record-checksum verification: (top_lsn,
+        # start_block, nblocks, records) per successful _write_out.
+        self._write_batches = []
+        #: verify log media tokens during recovery (armed by integrity
+        #: worlds; off by default — recovery then trusts the media, the
+        #: historical behaviour)
+        self.verify_on_recovery = False
         self.counters = {"appends": 0, "flushes": 0, "group_commits": 0,
-                         "blocks_written": 0}
+                         "blocks_written": 0, "verify_dropped": 0}
         sim.telemetry.add_probe("wal.buffered_bytes",
                                 lambda: self._buffered_bytes, "db")
         sim.telemetry.add_probe("wal.checkpoint_pressure",
@@ -158,6 +165,9 @@ class WriteAheadLog:
         if self.filesystem.barriers:
             self.barrier_durable_lsn = top_lsn
         self._records_for_recovery.extend(records)
+        self._write_batches.append(
+            (top_lsn, self._write_cursor_blocks - nblocks, nblocks,
+             list(records)))
         self.counters["flushes"] += 1
         self.counters["blocks_written"] += nblocks
 
@@ -188,6 +198,49 @@ class WriteAheadLog:
         configuration is only safe on DuraSSD.
         """
         if log_device_durable:
-            return list(self._records_for_recovery)
-        return [record for record in self._records_for_recovery
-                if record.lsn <= self.barrier_durable_lsn]
+            survivors = list(self._records_for_recovery)
+        else:
+            survivors = [record for record in self._records_for_recovery
+                         if record.lsn <= self.barrier_durable_lsn]
+        if self.verify_on_recovery:
+            survivors = self._verify_survivors(survivors)
+        return survivors
+
+    def _verify_survivors(self, survivors):
+        """Record-checksum pass over the surviving redo (untimed).
+
+        Each write-out batch's media blocks are re-read and checked
+        against the ``(log, top_lsn, index)`` tokens it wrote; replay
+        stops at the first batch that fails — exactly how a real WAL
+        scan stops at the first bad record checksum, so a corrupted
+        batch can never be replayed as if it were intact.  Batches whose
+        blocks were overwritten by a circular-log wrap are no longer
+        verifiable against media and are trusted as checkpoint-covered.
+        """
+        eligible = {record.lsn for record in survivors}
+        # latest writer per block decides which batches are verifiable
+        latest = {}
+        for index, (_lsn, start, nblocks, _records) in \
+                enumerate(self._write_batches):
+            for block in range(start, start + nblocks):
+                latest[block] = index
+        good_lsns, dropped = set(), False
+        for index, (top_lsn, start, nblocks, records) in \
+                enumerate(self._write_batches):
+            batch_lsns = {record.lsn for record in records} & eligible
+            if not batch_lsns:
+                continue
+            verifiable = all(latest[block] == index
+                             for block in range(start, start + nblocks))
+            if verifiable and not dropped:
+                found = self.filesystem.persistent_blocks(
+                    self.handle, start * units.LBA_SIZE, nblocks)
+                expect = [("log", top_lsn, offset)
+                          for offset in range(nblocks)]
+                if found != expect:
+                    dropped = True  # first bad batch: stop the scan here
+            if dropped:
+                self.counters["verify_dropped"] += len(batch_lsns)
+            else:
+                good_lsns |= batch_lsns
+        return [record for record in survivors if record.lsn in good_lsns]

@@ -123,6 +123,10 @@ class StorageDevice:
         # latency-fault oracle, and the single-flight soft-reset gate.
         self._inflight = {}
         self.gray_faults = None
+        # Silent-corruption oracle (repro.failures.corruption), attached
+        # by inject_corruption on devices that support it; kept on the
+        # base so harness code can scan any device uniformly.
+        self.corruption = None
         self._resetting = None
         self.counters = {"reads": 0, "writes": 0, "flushes": 0,
                          "blocks_read": 0, "blocks_written": 0,

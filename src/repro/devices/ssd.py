@@ -165,6 +165,13 @@ class FlashSSD(StorageDevice):
             self.ftl.retire_block(block)
         return fault_model
 
+    def inject_corruption(self, model):
+        """Attach a silent-corruption model beneath the FTL
+        (:mod:`repro.failures.corruption`)."""
+        self.corruption = model
+        self.ftl.corruption_model = model
+        return model
+
     # --- health introspection -----------------------------------------------
     #: rated program/erase cycles per block for the media-wear estimate
     MEDIA_ENDURANCE_CYCLES = 3000
@@ -198,6 +205,8 @@ class FlashSSD(StorageDevice):
         report["mapping"] = {
             "dirty_entries": self.ftl.dirty_mapping_entries,
         }
+        if self.corruption is not None:
+            report["corruption"] = dict(self.corruption.counters)
         return report
 
     # --- LBA <-> FTL slot mapping -------------------------------------------

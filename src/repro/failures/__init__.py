@@ -15,6 +15,13 @@ from .chaos import (
     run_chaos,
 )
 from .chaos import replay_artifact as replay_chaos_artifact
+from .checker import check_undetected_corruption
+from .corruption import (
+    CORRUPTION_PROFILES,
+    CorruptionConfig,
+    CorruptionModel,
+    make_corruption_profile,
+)
 from .faults import FaultConfig, FlashFaultError, TransientFaultModel
 from .grayfaults import (
     PROFILES,
@@ -39,8 +46,11 @@ from .torture import (
 )
 
 __all__ = [
+    "CORRUPTION_PROFILES",
     "ChaosResult",
     "CheckReport",
+    "CorruptionConfig",
+    "CorruptionModel",
     "FaultConfig",
     "FlashFaultError",
     "GrayFaultModel",
@@ -56,11 +66,13 @@ __all__ = [
     "build_world",
     "chaos_scenario",
     "check_device",
+    "check_undetected_corruption",
     "check_write_order",
     "generate_ops",
     "latest_acked_values",
     "make_artifact",
     "make_chaos_artifact",
+    "make_corruption_profile",
     "make_profile",
     "minimize",
     "minimize_chaos",

@@ -34,11 +34,18 @@ import math
 
 from ..db import dbrecovery
 from ..db.degrade import DegradedError
+from ..db.pages import TornPageError
+from ..host.integrity import CorruptDataError
 from ..host.lifecycle import DeviceTimeoutError, TimeoutPolicy
 from ..telemetry.hub import Telemetry
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.slo import SLOMonitor, default_chaos_rules
-from .checker import check_device, check_write_order
+from .checker import (
+    check_device,
+    check_undetected_corruption,
+    check_write_order,
+)
+from .corruption import make_corruption_profile
 from .grayfaults import GrayFaultProfile, make_profile
 from .injector import PowerFailureInjector
 from .torture import TortureScenario, build_world, generate_ops
@@ -72,7 +79,8 @@ CHAOS_METRICS_INTERVAL = 0.005
 def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                    gray_target="both", engine="innodb", barriers=None,
                    timeout_policy=None, admission_control=True,
-                   horizon=None, stripe=1):
+                   horizon=None, stripe=1, corruption=None, mirror=1,
+                   checksums=None, scrub=None):
     """A fully seeded chaos world description (a gray
     :class:`~repro.failures.torture.TortureScenario`).
 
@@ -83,7 +91,20 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
     so the episodes actually intersect the run.  The timeout policy
     defaults to a sim-scaled deadline seeded from ``seed`` so backoff
     jitter replays exactly.
+
+    ``corruption`` is a name from
+    :data:`repro.failures.corruption.CORRUPTION_PROFILES`, a config
+    dict, or a :class:`~repro.failures.corruption.CorruptionConfig`.
+    With corruption armed, host checksums default on and (on a mirrored
+    topology, ``mirror >= 2``) the background scrubber defaults on, so
+    the standard corruption chaos world is the fully defended one.
     """
+    if isinstance(corruption, str):
+        corruption = make_corruption_profile(corruption, seed)
+    if checksums is None:
+        checksums = corruption is not None
+    if scrub is None:
+        scrub = mirror > 1 and checksums
     if isinstance(profile, str):
         profile = make_profile(profile, seed)
         if horizon is None:
@@ -102,7 +123,8 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                            ops=ops, seed=seed, timeout_policy=timeout_policy,
                            gray_profile=profile, gray_target=gray_target,
                            admission_control=admission_control,
-                           stripe=stripe)
+                           stripe=stripe, corruption=corruption,
+                           mirror=mirror, checksums=checksums, scrub=scrub)
 
 
 class ChaosResult:
@@ -114,6 +136,9 @@ class ChaosResult:
         self.ops_ok = 0
         self.ops_timed_out = 0
         self.ops_rejected = 0
+        self.ops_corrupt_detected = 0
+        self.undetected_corrupt_reads = 0
+        self.integrity_expected = False
         self.completed = False
         self.read_only = False
         self.duration = 0.0
@@ -138,8 +163,17 @@ class ChaosResult:
 
     @property
     def failed(self):
-        """A violation where the configuration promised none."""
-        return self.expected_clean and bool(self.violations)
+        """A violation where the configuration promised none.
+
+        An integrity-armed world (checksums or mirror) additionally
+        fails on any ``integrity:`` violation: detection is promised
+        even when corruption voids the crash-consistency promise.
+        """
+        if self.expected_clean and bool(self.violations):
+            return True
+        return self.integrity_expected and any(
+            violation.startswith("integrity:")
+            for violation in self.violations)
 
     def to_json(self):
         return {
@@ -147,6 +181,9 @@ class ChaosResult:
             "ops_ok": self.ops_ok,
             "ops_timed_out": self.ops_timed_out,
             "ops_rejected": self.ops_rejected,
+            "ops_corrupt_detected": self.ops_corrupt_detected,
+            "undetected_corrupt_reads": self.undetected_corrupt_reads,
+            "integrity_expected": self.integrity_expected,
             "completed": self.completed,
             "read_only": self.read_only,
             "duration": self.duration,
@@ -201,6 +238,10 @@ def _chaos_client(workload, ops, progress, outcomes):
             yield from workload._operation(name, node)
         except DeviceTimeoutError:
             outcomes["timed_out"] += 1
+        except (CorruptDataError, TornPageError):
+            # A checksum (host or database page) turned a corrupt read
+            # into an error: detected, fail-stop, tolerated.
+            outcomes["corrupt"] = outcomes.get("corrupt", 0) + 1
         except DegradedError:
             outcomes["rejected"] += 1
         else:
@@ -231,6 +272,7 @@ def baseline_duration(scenario, ops, telemetry=None):
     """
     quiet = dict(scenario.to_json())
     quiet["gray_profile"] = None
+    quiet["corruption"] = None
     world = build_world(TortureScenario.from_json(quiet), telemetry)
     progress = {"completed": 0}
     outcomes = {"ok": 0, "timed_out": 0, "rejected": 0}
@@ -245,14 +287,15 @@ def baseline_duration(scenario, ops, telemetry=None):
 
 
 def _first_fault_time(world):
-    """Earliest instant any device's gray model perturbed a command."""
+    """Earliest instant any device's gray or corruption model perturbed
+    a command (for corruption: the first silently injected fault)."""
     first = None
     for device in world.devices:
-        model = device.gray_faults
-        if model is None or model.first_fault_time is None:
-            continue
-        if first is None or model.first_fault_time < first:
-            first = model.first_fault_time
+        for model in (device.gray_faults, device.corruption):
+            if model is None or model.first_fault_time is None:
+                continue
+            if first is None or model.first_fault_time < first:
+                first = model.first_fault_time
     return first
 
 
@@ -281,7 +324,9 @@ def _evaluate_slo(world, scenario, profile, result):
     if episodes and result.first_fault_s is not None:
         result.detection_latency_s = (episodes[0].fired_at
                                       - result.first_fault_s)
-    if profile.quiet and episodes:
+    corruption_quiet = (scenario.corruption is None
+                        or scenario.corruption.quiet)
+    if profile.quiet and corruption_quiet and episodes:
         fired = sorted({episode.rule.name for episode in episodes})
         result.violations.append(
             "slo:false-positive:%s" % ",".join(fired))
@@ -318,6 +363,7 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
     world = build_world(scenario, telemetry)
     sim = world.sim
     result.expected_clean = world.expected_clean
+    result.integrity_expected = world.integrity_expected
     progress = {"completed": 0}
     outcomes = {"ok": 0, "timed_out": 0, "rejected": 0}
     client = sim.process(
@@ -331,6 +377,13 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
         result.ops_ok = outcomes["ok"]
         result.ops_timed_out = outcomes["timed_out"]
         result.ops_rejected = outcomes["rejected"]
+        result.ops_corrupt_detected = outcomes.get("corrupt", 0)
+        result.undetected_corrupt_reads = \
+            check_undetected_corruption(world.audit)
+        if result.undetected_corrupt_reads:
+            result.violations.append(
+                "integrity:undetected-corrupt-read:count=%d"
+                % result.undetected_corrupt_reads)
         result.completed = client.triggered
         result.duration = sim.now
         result.read_only = getattr(world.engine, "degradation",
@@ -396,7 +449,10 @@ def _crash_and_check(world, result):
     for device in world.devices:
         report = check_device(device)
         inversions = check_write_order(device)
-        if device.claims_durable_cache:
+        # An armed corruption model deliberately violates block-level
+        # durability beneath the FTL; the integrity verdicts higher in
+        # the stack take over for those devices.
+        if device.claims_durable_cache and device.corruption is None:
             for violation in report.violations:
                 result.violations.append(
                     "device:%s:%s:lba=%d" % (device.name, violation.kind,

@@ -118,6 +118,25 @@ def check_device(device, ack_log=None):
     return report
 
 
+def check_undetected_corruption(audit):
+    """The end-to-end integrity verdict: *no acked read ever returns
+    corrupted data undetected*.
+
+    ``audit`` is the harness-side passive auditor (a
+    :class:`~repro.host.volume.VerifyingTarget` with ``fail_stop`` off)
+    stacked outside the defense under test.  Every read that completed
+    carrying a value the auditor's independent fingerprint database
+    could not verify was served to the host as if it were good data —
+    the defense (checksums, mirror read-repair) neither failed the read
+    nor repaired it.  Returns the count of such undetected corrupt
+    reads; zero is the only passing verdict for a world that promises
+    integrity.
+    """
+    if audit is None:
+        return 0
+    return audit.checksums.counters["mismatches"]
+
+
 def check_write_order(device, ack_log=None):
     """Ordering check: scan acked writes oldest->newest; once a write is
     found missing, no *later* acked write may be present (prefix rule).

@@ -36,9 +36,19 @@ import json
 
 from ..db import dbrecovery
 from ..db.commercial import CommercialConfig, CommercialEngine
+from ..db.degrade import DegradedError
 from ..db.innodb import InnoDBConfig, InnoDBEngine
+from ..db.pages import TornPageError
 from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
-from ..host import FileSystem, StripedVolume
+from ..host import (
+    FileSystem,
+    MirroredVolume,
+    Scrubber,
+    StripedVolume,
+    VerifyingTarget,
+    as_target,
+)
+from ..host.integrity import CorruptDataError
 from ..host.lifecycle import TimeoutPolicy
 from ..sim import Simulator, units
 from ..sim.rng import make_rng
@@ -48,7 +58,12 @@ from ..workloads.linkbench import (
     LinkBenchWorkload,
     NodeSampler,
 )
-from .checker import check_device, check_write_order
+from .checker import (
+    check_device,
+    check_undetected_corruption,
+    check_write_order,
+)
+from .corruption import CorruptionConfig, CorruptionModel
 from .faults import FaultConfig, TransientFaultModel
 from .grayfaults import GrayFaultModel, GrayFaultProfile
 from .injector import PowerFailureInjector
@@ -82,7 +97,9 @@ class TortureScenario:
                  buffer_pool_bytes=None, fault_config=None,
                  capacitor_health=1.0, workload="linkbench",
                  timeout_policy=None, gray_profile=None,
-                 gray_target="both", admission_control=False, stripe=1):
+                 gray_target="both", admission_control=False, stripe=1,
+                 corruption=None, corruption_target="data", mirror=1,
+                 checksums=False, scrub=False):
         if engine not in _ENGINES:
             raise ValueError("unknown engine: %r" % engine)
         if device not in _DEVICE_MAKERS:
@@ -138,6 +155,33 @@ class TortureScenario:
                              "data:<member>: %r" % (gray_target,))
         self.gray_target = gray_target
         self.admission_control = admission_control
+        # End-to-end integrity wiring (repro.failures.corruption,
+        # repro.host.integrity): all off by default, so classic torture
+        # scenarios build byte-identical worlds.
+        if corruption is not None and not isinstance(corruption,
+                                                     CorruptionConfig):
+            corruption = CorruptionConfig(**corruption)
+        self.corruption = corruption
+        if corruption_target not in ("data", "log", "all"):
+            raise ValueError("corruption_target must be data, log or all: "
+                             "%r" % (corruption_target,))
+        self.corruption_target = corruption_target
+        mirror = int(mirror)
+        if mirror < 1:
+            raise ValueError("mirror width must be >= 1")
+        if mirror > 1 and stripe > 1:
+            raise ValueError("mirror and stripe are mutually exclusive")
+        self.mirror = mirror
+        self.checksums = bool(checksums)
+        if scrub and not (self.checksums or mirror > 1):
+            raise ValueError("scrub needs checksums or a mirror to verify "
+                             "against")
+        self.scrub = bool(scrub)
+
+    @property
+    def integrity_armed(self):
+        """Does this world defend reads (checksums and/or a mirror)?"""
+        return self.checksums or self.mirror > 1
 
     def to_json(self):
         return {
@@ -161,6 +205,12 @@ class TortureScenario:
             "gray_target": self.gray_target,
             "admission_control": self.admission_control,
             "stripe": self.stripe,
+            "corruption": (self.corruption.to_json()
+                           if self.corruption else None),
+            "corruption_target": self.corruption_target,
+            "mirror": self.mirror,
+            "checksums": self.checksums,
+            "scrub": self.scrub,
         }
 
     @classmethod
@@ -177,7 +227,8 @@ class TortureWorld:
     """One freshly built simulation world for a single trial."""
 
     def __init__(self, sim, engine, devices, workload, barriers,
-                 expected_clean, data_devices=None):
+                 expected_clean, data_devices=None, audit=None,
+                 scrubber=None, integrity_expected=False):
         self.sim = sim
         self.engine = engine
         self.devices = devices
@@ -189,6 +240,12 @@ class TortureWorld:
         self.workload = workload
         self.barriers = barriers
         self.expected_clean = expected_clean
+        #: passive undetected-corruption auditor (corruption worlds only)
+        self.audit = audit
+        #: background media scrubber, when the scenario arms one
+        self.scrubber = scrubber
+        #: does this world promise detection (checksums or mirror)?
+        self.integrity_expected = integrity_expected
 
 
 def build_world(scenario, telemetry=None):
@@ -203,6 +260,11 @@ def build_world(scenario, telemetry=None):
             maker(sim, capacity_bytes=member_capacity,
                   name="%s.d%d" % (scenario.device, index))
             for index in range(scenario.stripe))
+    elif scenario.mirror > 1:
+        data_devices = tuple(
+            maker(sim, capacity_bytes=data_capacity,
+                  name="%s.m%d" % (scenario.device, index))
+            for index in range(scenario.mirror))
     else:
         data_devices = (maker(sim, capacity_bytes=data_capacity),)
     log_device = maker(sim, capacity_bytes=log_capacity)
@@ -228,14 +290,42 @@ def build_world(scenario, telemetry=None):
         if scenario.gray_target in ("both", "log"):
             log_device.inject_gray_faults(
                 GrayFaultModel(scenario.gray_profile, salt="log"))
+    if scenario.corruption is not None:
+        # Silent-corruption models beneath the FTL, one per device with
+        # its own salt so replicas never rot in lock-step.
+        if scenario.corruption_target in ("data", "all"):
+            for index, device in enumerate(data_devices):
+                if hasattr(device, "inject_corruption"):
+                    device.inject_corruption(CorruptionModel(
+                        scenario.corruption, salt="data:%d" % index))
+        if scenario.corruption_target in ("log", "all") \
+                and hasattr(log_device, "inject_corruption"):
+            log_device.inject_corruption(CorruptionModel(
+                scenario.corruption, salt="log"))
     all_durable = all(device.claims_durable_cache for device in devices)
     barriers = (not all_durable) if scenario.barriers is None \
         else scenario.barriers
     if scenario.stripe > 1:
         data_target = StripedVolume(sim, data_devices,
                                     timeout_policy=scenario.timeout_policy)
+    elif scenario.mirror > 1:
+        data_target = MirroredVolume(sim, data_devices,
+                                     timeout_policy=scenario.timeout_policy)
     else:
         data_target = data_devices[0]
+    if scenario.checksums and scenario.mirror <= 1:
+        # Unreplicated defense: fingerprint writes, fail-stop bad reads.
+        data_target = VerifyingTarget(as_target(
+            sim, data_target, timeout_policy=scenario.timeout_policy))
+    defended_target = data_target
+    audit = None
+    if scenario.corruption is not None:
+        # Harness-side oracle OUTSIDE any defense: a corrupt value that
+        # makes it past this point was served to the host undetected.
+        audit = VerifyingTarget(as_target(
+            sim, data_target, timeout_policy=scenario.timeout_policy),
+            fail_stop=False)
+        data_target = audit
     data_fs = FileSystem(sim, data_target, barriers=barriers,
                          timeout_policy=scenario.timeout_policy)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
@@ -256,6 +346,16 @@ def build_world(scenario, telemetry=None):
         engine = InnoDBEngine(sim, data_fs, log_fs, config)
     for device in devices:
         device.record_acks = True
+    if scenario.checksums:
+        # Record-checksum verification of the redo log during recovery.
+        engine.wal.verify_on_recovery = True
+    scrubber = None
+    if scenario.scrub:
+        degradation = getattr(engine, "degradation", None)
+        scrubber = Scrubber(
+            sim, defended_target,
+            escalate=(degradation.record_escalation
+                      if degradation is not None else None))
     lb_config = LinkBenchConfig(db_bytes=scenario.db_bytes,
                                 seed=scenario.seed)
     workload = LinkBenchWorkload(engine, lb_config)
@@ -267,8 +367,17 @@ def build_world(scenario, telemetry=None):
     expected_clean = all_durable or (
         barriers and (scenario.doublewrite
                       or scenario.page_size <= units.LBA_SIZE))
+    if scenario.corruption is not None and not scenario.corruption.quiet:
+        # Silently rotting media voids the crash-consistency promise:
+        # even a mirror loses data when both replicas of a block fault
+        # (detected, fail-stop — but lost).  What an integrity-armed
+        # world *does* promise is detection: any ``integrity:``
+        # violation still fails the trial via ``integrity_expected``.
+        expected_clean = False
     return TortureWorld(sim, engine, devices, workload, barriers,
-                        expected_clean, data_devices=data_devices)
+                        expected_clean, data_devices=data_devices,
+                        audit=audit, scrubber=scrubber,
+                        integrity_expected=scenario.integrity_armed)
 
 
 def generate_ops(scenario):
@@ -290,9 +399,25 @@ def generate_ops(scenario):
 
 
 def _client(workload, ops, progress):
-    """Single sequential client replaying a pre-drawn operation list."""
+    """Single sequential client replaying a pre-drawn operation list.
+
+    Detected corruption (fail-stop checksum errors) and read-only
+    rejections are tolerated and tallied — in an integrity world the
+    *defense* turning a wrong answer into an error is the correct
+    outcome, and the client must keep replaying the stream.  Classic
+    worlds never raise either, so the handlers are inert there.
+    """
     for index, (name, node) in enumerate(ops):
-        yield from workload._operation(name, node)
+        try:
+            yield from workload._operation(name, node)
+        except (CorruptDataError, TornPageError):
+            # Host checksum or database page checksum fired: the wrong
+            # answer became an error.  Both are detection points in the
+            # threat model.
+            progress["corrupt_detected"] = \
+                progress.get("corrupt_detected", 0) + 1
+        except DegradedError:
+            progress["rejected"] = progress.get("rejected", 0) + 1
         progress["completed"] = index + 1
 
 
@@ -363,6 +488,9 @@ class TrialResult:
         self.db_report = None
         self.violations = []
         self.expected_clean = True
+        self.integrity_expected = False
+        self.undetected_corrupt_reads = 0
+        self.corrupt_detected = 0
         self.recovery_seconds = 0.0
 
     @property
@@ -371,8 +499,18 @@ class TrialResult:
 
     @property
     def failed(self):
-        """A violation where the configuration promised none."""
-        return self.expected_clean and bool(self.violations)
+        """A violation where the configuration promised none.
+
+        An integrity-armed world additionally fails on any
+        ``integrity:`` violation even when silent corruption voided the
+        crash-consistency promise — checksums promise *detection*
+        regardless of whether the data can be recovered.
+        """
+        if self.expected_clean and self.violations:
+            return True
+        return self.integrity_expected and any(
+            violation.startswith("integrity:")
+            for violation in self.violations)
 
     def to_json(self):
         return {
@@ -382,6 +520,9 @@ class TrialResult:
             "nested_performed": self.nested_performed,
             "ops_completed": self.ops_completed,
             "expected_clean": self.expected_clean,
+            "integrity_expected": self.integrity_expected,
+            "undetected_corrupt_reads": self.undetected_corrupt_reads,
+            "corrupt_detected": self.corrupt_detected,
             "violations": list(self.violations),
             "recovery_seconds": self.recovery_seconds,
         }
@@ -434,14 +575,24 @@ def run_trial(scenario, ops, cut_time, nested=None, telemetry=None):
     cut = injector.schedule_cut(cut_time)
     result = TrialResult(cut_time, nested)
     result.expected_clean = world.expected_clean
+    result.integrity_expected = world.integrity_expected
     with sim.telemetry.span("torture.trial", "failures",
                             device=scenario.device, engine=scenario.engine,
                             cut_time=cut_time) as span:
         sim.run_until(done)
         result.fired = cut.fired
         result.ops_completed = progress["completed"]
+        result.corrupt_detected = progress.get("corrupt_detected", 0)
+        # The integrity safety verdict holds at *every* instant, cut or
+        # no cut: no acked read returned corrupted data undetected.
+        result.undetected_corrupt_reads = \
+            check_undetected_corruption(world.audit)
+        if result.undetected_corrupt_reads:
+            result.violations.append(
+                "integrity:undetected-corrupt-read:count=%d"
+                % result.undetected_corrupt_reads)
         if not cut.fired:
-            # The stream finished before the cut: nothing to check.
+            # The stream finished before the cut: nothing else to check.
             span.annotate(fired=False)
             world.engine.stop_cleaner()
             return result
@@ -459,7 +610,12 @@ def run_trial(scenario, ops, cut_time, nested=None, telemetry=None):
             inversions = check_write_order(device)
             result.device_reports[device.name] = report
             result.order_inversions[device.name] = inversions
-            if device.claims_durable_cache:
+            # A device with an armed corruption model deliberately
+            # violates block-level durability — that is the injection,
+            # not a finding.  The verdict moves up the stack: the
+            # volume/database layers must detect (and, mirrored,
+            # repair) it, which the integrity checks above assert.
+            if device.claims_durable_cache and device.corruption is None:
                 for violation in report.violations:
                     result.violations.append(
                         "device:%s:%s:lba=%d" % (device.name, violation.kind,

@@ -3,14 +3,25 @@
 from .chip import FlashArray, FlashTiming
 from .ftl import FlashFullError, PageMappingFTL
 from .geometry import FlashGeometry
-from .torn import TORN, is_torn
+from .torn import (
+    FAULT_KINDS,
+    TORN,
+    CorruptValue,
+    corrupt_kind,
+    is_corrupt,
+    is_torn,
+)
 
 __all__ = [
+    "CorruptValue",
+    "FAULT_KINDS",
     "FlashArray",
     "FlashFullError",
     "FlashGeometry",
     "FlashTiming",
     "PageMappingFTL",
     "TORN",
+    "corrupt_kind",
+    "is_corrupt",
     "is_torn",
 ]

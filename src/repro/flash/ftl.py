@@ -19,7 +19,15 @@ delta (Section 3.4) and loses nothing.
 
 from collections import deque
 
-from .torn import TORN
+from .torn import (
+    BIT_ROT,
+    LOST_WRITE,
+    MISDIRECTED_WRITE,
+    READ_DISTURB,
+    TORN,
+    CorruptValue,
+    is_corrupt,
+)
 
 
 class FlashFullError(Exception):
@@ -97,6 +105,9 @@ class PageMappingFTL:
         # when a block graduates from "transient fault" to "grown bad".
         self._bad_blocks = set()
         self._program_failures = {}
+        #: silent-corruption oracle (repro.failures.corruption), or None;
+        #: consulted per committed host write and per host read.
+        self.corruption_model = None
         self.counters = {"gc_runs": 0, "gc_moved_slots": 0,
                          "host_slot_writes": 0, "nand_page_writes": 0,
                          "program_retries": 0, "read_retries": 0,
@@ -185,7 +196,16 @@ class PageMappingFTL:
                 self.counters["uncorrectable_reads"] += 1
                 span.annotate(uncorrectable=True)
                 return TORN
-        return self.stored_value(lslot)
+        value = self.stored_value(lslot)
+        model = self.corruption_model
+        if model is not None and model.read_disturbs(self.sim.now):
+            # Read disturb degrades the page just sensed: this read
+            # still returns good data, every later one sees garbage.
+            entry = self._contents.get(pslot)
+            if entry is not None and entry[0] == lslot \
+                    and not is_corrupt(entry[1]):
+                self._contents[pslot] = (lslot, CorruptValue(READ_DISTURB))
+        return value
 
     def write_slots(self, items):
         """Write ``[(logical_slot, value), ...]``, pairing slots into NAND
@@ -209,7 +229,7 @@ class PageMappingFTL:
             yield self.sim.all_of(programs)
         self.counters["host_slot_writes"] += len(items)
 
-    def _program_group(self, group):
+    def _program_group(self, group, gc=False):
         epoch = self._epoch
         attempts = 0
         while True:
@@ -245,8 +265,28 @@ class PageMappingFTL:
             yield self.sim.timeout(self._retry_backoff() * attempts)
             if epoch != self._epoch:
                 return
+        model = None if gc else self.corruption_model
         for sub, (lslot, value) in enumerate(group):
             pslot = ppn * self.slots_per_page + sub
+            kind = model.write_outcome(self.sim.now, lslot) \
+                if model is not None else None
+            if kind == LOST_WRITE:
+                # Acked but never persisted: the mapping keeps pointing
+                # at the old copy, so the slot silently reads back stale.
+                self._valid_count[block] -= 1
+                continue
+            if kind == MISDIRECTED_WRITE:
+                # The data lands at an aliased slot: the target keeps
+                # its old contents, the alias is overwritten with
+                # foreign data — both sides read clean-but-wrong.
+                alias = model.misdirect_target(lslot, self.exported_slots)
+                self._commit_slot(alias, pslot, value)
+                continue
+            if kind == BIT_ROT:
+                # Retention decay: the programmed page degrades at rest
+                # and reads back as uncorrectable garbage.
+                self._commit_slot(lslot, pslot, CorruptValue(BIT_ROT))
+                continue
             self._commit_slot(lslot, pslot, value)
         self.counters["nand_page_writes"] += 1
 
@@ -404,7 +444,11 @@ class PageMappingFTL:
             if live_items:
                 groups = [live_items[i:i + spp]
                           for i in range(0, len(live_items), spp)]
-                programs = [self.sim.process(self._program_group(group))
+                # GC relocations are firmware-internal copies, not host
+                # writes: the corruption oracle does not draw for them
+                # (a rotten slot is relocated as-is, so decay persists).
+                programs = [self.sim.process(self._program_group(group,
+                                                                 gc=True))
                             for group in groups]
                 yield self.sim.all_of(programs)
                 self.counters["gc_moved_slots"] += len(live_items)

@@ -3,32 +3,46 @@ and fio."""
 
 from .filesystem import FSYNC_SYSCALL_TIME, FileHandle, FileSystem, FileView
 from .fio import FioJob, FioResult, run_fio
+from .integrity import (
+    BlockChecksums,
+    CorruptDataError,
+    IrreparableCorruptionError,
+    Scrubber,
+)
 from .lifecycle import CommandLifecycle, DeviceTimeoutError, TimeoutPolicy
 from .ncq import CommandQueue
 from .trace import IOTracer, render_latency_histogram
 from .volume import (
     BlockTarget,
+    MirroredVolume,
     PlacementVolume,
     RegionView,
     SingleDevice,
     StripedVolume,
+    VerifyingTarget,
     as_target,
 )
 
 __all__ = [
+    "BlockChecksums",
     "BlockTarget",
     "CommandLifecycle",
     "CommandQueue",
+    "CorruptDataError",
     "DeviceTimeoutError",
     "FSYNC_SYSCALL_TIME",
     "FileHandle",
     "FileSystem",
     "FileView",
+    "IrreparableCorruptionError",
+    "MirroredVolume",
     "PlacementVolume",
     "RegionView",
+    "Scrubber",
     "SingleDevice",
     "StripedVolume",
     "TimeoutPolicy",
+    "VerifyingTarget",
     "as_target",
     "FioJob",
     "FioResult",

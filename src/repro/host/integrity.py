@@ -1,0 +1,192 @@
+"""Host-side data integrity: block checksums and the background scrubber.
+
+The device stack models payloads as opaque tokens, so a "checksum" here
+is a *reference fingerprint*: the host remembers, per target LBA, the
+token it submitted, and a read verifies the token that came back against
+it.  That models a collision-free block checksum (a la ZFS parent-block
+checksums): any silent substitution — garbage from bit rot or read
+disturb, foreign data from a misdirected write, stale data from a lost
+write — fails verification, while a faithful read always passes.
+
+Three pieces:
+
+* :class:`BlockChecksums` — the fingerprint database.  Two-phase per
+  write (recorded at *submission*, committed at *ack*) so a read racing
+  an in-flight write verifies against either value and never reports a
+  false mismatch.
+* :class:`Scrubber` — a background simulated-time process that walks
+  the tracked (allocated-and-written) extent set at a bounded pace,
+  verifying every replica of every block and letting the target repair
+  what it can, so latent corruption is found in bounded time instead of
+  at the next unlucky read.
+* The verifying targets themselves live in :mod:`repro.host.volume`:
+  :class:`~repro.host.volume.VerifyingTarget` (detect + fail-stop) and
+  :class:`~repro.host.volume.MirroredVolume` (detect + read-repair).
+
+Everything here is armed explicitly; an un-armed world never builds
+these objects, keeping the default path event-for-event identical.
+"""
+
+from ..flash.torn import is_corrupt
+
+
+class CorruptDataError(Exception):
+    """A read failed checksum verification (detected, not masked)."""
+
+    def __init__(self, target, lba, kind=None, detail="checksum mismatch"):
+        self.target = target
+        self.lba = lba
+        #: the fault kind when the payload carries a corrupt sentinel,
+        #: else None (clean-but-wrong data: misdirected or lost write)
+        self.kind = kind
+        super().__init__("%s: lba=%d: %s%s"
+                         % (target, lba, detail,
+                            " (%s)" % kind if kind else ""))
+
+
+class IrreparableCorruptionError(CorruptDataError):
+    """Every replica of a block failed verification."""
+
+    def __init__(self, target, lba, kind=None):
+        super().__init__(target, lba, kind=kind,
+                         detail="no verifiable replica")
+
+
+class BlockChecksums:
+    """Per-LBA reference fingerprints with two-phase write tracking.
+
+    ``submit`` records the fingerprint when the write is issued;
+    ``ack`` commits it when the write completes.  ``ok`` accepts the
+    committed value or any still-pending one, so reads concurrent with
+    in-flight writes to the same block never produce false mismatches.
+    The database is host metadata, modelled as durably maintained (the
+    parent-checksum design); counters feed the integrity metrics.
+    """
+
+    def __init__(self):
+        self._committed = {}
+        self._pending = {}  # lba -> [fingerprint, ...] in submit order
+        self.counters = {"verified": 0, "mismatches": 0, "repairs": 0,
+                         "irreparable": 0}
+
+    def __len__(self):
+        return len(self._committed)
+
+    def submit(self, lba, value):
+        self._pending.setdefault(lba, []).append(value)
+
+    def ack(self, lba, value):
+        pending = self._pending.get(lba)
+        if pending is not None:
+            try:
+                pending.remove(value)
+            except ValueError:
+                pass
+            if not pending:
+                del self._pending[lba]
+        self._committed[lba] = value
+
+    def committed(self, lba, default=None):
+        return self._committed.get(lba, default)
+
+    def tracked(self):
+        """Every LBA with a committed fingerprint, ascending — the
+        allocated-and-written extent set the scrubber walks."""
+        return sorted(self._committed)
+
+    def ok(self, lba, value):
+        """Does ``value`` verify as a faithful copy of block ``lba``?"""
+        pending = self._pending.get(lba)
+        if pending is not None and value in pending:
+            return True
+        if lba not in self._committed:
+            # No reference fingerprint: an untracked block verifies
+            # unless it carries a garbage sentinel (a checksum over
+            # garbage never validates, reference or not).
+            return not is_corrupt(value)
+        return value == self._committed[lba]
+
+
+def register_integrity_metrics(metrics, checksums, name):
+    """Expose a checksum database's counters as integrity metrics."""
+    for counter in ("verified", "mismatches", "repairs", "irreparable"):
+        metrics.counter("integrity.%s" % counter,
+                        fn=lambda counter=counter:
+                        checksums.counters[counter],
+                        volume=name)
+
+
+class Scrubber:
+    """Background media scrub: walk, verify, let the target repair.
+
+    Every pass walks the checksum database's tracked extent set in LBA
+    order, issuing one verified single-block read per step through the
+    target's ``scrub_read`` — on a mirrored volume that checks *every*
+    replica and repairs bad copies from a surviving one.  ``pace``
+    bounds the scrub's I/O intrusiveness (one probe per ``pace``
+    simulated seconds), ``idle`` separates passes.  Detected-but-
+    irreparable blocks are reported once to ``escalate`` (typically the
+    database's degradation monitor) instead of being retried forever.
+    """
+
+    def __init__(self, sim, target, checksums=None, pace=1e-3, idle=0.05,
+                 escalate=None, auto_start=True):
+        if pace <= 0 or idle <= 0:
+            raise ValueError("scrub pace and idle must be positive")
+        self.sim = sim
+        self.target = target
+        self.checksums = checksums if checksums is not None \
+            else target.checksums
+        self.pace = pace
+        self.idle = idle
+        self.escalate = escalate
+        self.counters = {"passes": 0, "blocks": 0, "found": 0,
+                         "escalations": 0}
+        self._reported = set()  # irreparable LBAs already escalated
+        metrics = sim.telemetry.metrics
+        metrics.counter("scrub.blocks",
+                        fn=lambda: self.counters["blocks"],
+                        volume=target.name)
+        metrics.counter("scrub.passes",
+                        fn=lambda: self.counters["passes"],
+                        volume=target.name)
+        metrics.counter("scrub.found",
+                        fn=lambda: self.counters["found"],
+                        volume=target.name)
+        if auto_start:
+            sim.process(self.run())
+
+    def run(self):
+        while True:
+            yield from self.scrub_pass()
+            yield self.sim.timeout(self.idle)
+
+    def scrub_pass(self):
+        """One full walk over the tracked extent set (a generator)."""
+        before = self.checksums.counters["mismatches"]
+        for lba in self.checksums.tracked():
+            if lba in self._reported:
+                # Quarantined: escalated as irreparable already; probing
+                # it every pass would just re-fire the mismatch alarm.
+                continue
+            try:
+                yield self.target.scrub_read(lba)
+            except IrreparableCorruptionError as error:
+                self._escalate(lba, error)
+            except CorruptDataError as error:
+                # Detected on an unreplicated target: nothing to repair
+                # from, so treat it like an irreparable mismatch.
+                self._escalate(lba, error)
+            self.counters["blocks"] += 1
+            yield self.sim.timeout(self.pace)
+        self.counters["passes"] += 1
+        self.counters["found"] += \
+            self.checksums.counters["mismatches"] - before
+
+    def _escalate(self, lba, error):
+        if lba in self._reported:
+            return
+        self._reported.add(lba)
+        self.counters["escalations"] += 1
+        if self.escalate is not None:
+            self.escalate(error)

@@ -28,6 +28,13 @@ ablation in ``repro.bench.scaling``.
 """
 
 from ..devices.base import READ, WRITE, IORequest
+from ..flash.torn import corrupt_kind
+from .integrity import (
+    BlockChecksums,
+    CorruptDataError,
+    IrreparableCorruptionError,
+    register_integrity_metrics,
+)
 from .ncq import CommandQueue
 
 
@@ -315,6 +322,327 @@ class StripedVolume(BlockTarget):
                 if completed > state.flushed:
                     state.flushed = completed
         return None
+
+
+class MirroredVolume(BlockTarget):
+    """RAID-1 with checksum verification and read-repair.
+
+    Every write fans out to all members; every read is served by a
+    deterministic preferred member and verified against the volume's
+    :class:`~repro.host.integrity.BlockChecksums`.  On a mismatch the
+    surviving replicas are tried in order: the first verifying copy is
+    returned to the caller and *rewritten over the bad copy* (the
+    self-healing read-repair of ZFS/Btrfs mirrors).  A block with no
+    verifying replica raises
+    :class:`~repro.host.integrity.IrreparableCorruptionError` through
+    the completion event — detected corruption is fail-stop, never a
+    wrong answer — and the database's degrade machinery escalates it.
+
+    Each member gets its own :class:`CommandQueue` (and lifecycle, when
+    a ``timeout_policy`` is armed), so a gray or corrupt member never
+    blocks its healthy replica.
+    """
+
+    def __init__(self, sim, devices, checksums=None, queue_depth=32,
+                 ordered_queue=True, rng=None, timeout_policy=None):
+        if len(devices) < 2:
+            raise ValueError("a mirrored volume needs at least two devices")
+        self.sim = sim
+        self.width = len(devices)
+        self._devices = tuple(devices)
+        self.name = "mirror[%s]" % ",".join(d.name for d in devices)
+        self._queues = tuple(
+            CommandQueue(sim, device, depth=queue_depth,
+                         ordered=ordered_queue, rng=rng,
+                         timeout_policy=timeout_policy)
+            for device in devices)
+        self._activity = tuple(_MemberActivity() for _ in devices)
+        self._exported = min(d.exported_lbas for d in devices)
+        self.checksums = checksums if checksums is not None \
+            else BlockChecksums()
+        metrics = sim.telemetry.metrics
+        for index, device in enumerate(devices):
+            metrics.counter(
+                "host.member_submitted",
+                fn=lambda index=index: self._activity[index].submitted,
+                volume=self.name, member=device.name)
+        register_integrity_metrics(metrics, self.checksums, self.name)
+
+    @property
+    def exported_lbas(self):
+        return self._exported
+
+    @property
+    def members(self):
+        return self._devices
+
+    @property
+    def queues(self):
+        return self._queues
+
+    def _preferred(self, lba):
+        """The member a read of ``lba`` is served from (reads spread
+        over replicas; repair probes the others in rotation order)."""
+        return lba % self.width
+
+    def locate(self, lba):
+        return self._devices[self._preferred(lba)], lba
+
+    def submit(self, request):
+        return self.sim.process(self._submit(request))
+
+    def _submit(self, request):
+        if request.lba + request.nblocks > self._exported:
+            raise ValueError("request past end of %s: lba=%d n=%d"
+                             % (self.name, request.lba, request.nblocks))
+        with self.sim.telemetry.span(
+                "vol.submit", "host", op=request.op, lba=request.lba,
+                nblocks=request.nblocks,
+                fragments=self.width if request.op == WRITE else 1):
+            if request.op == WRITE:
+                yield from self._submit_write(request)
+            else:
+                yield from self._submit_read(request)
+            request.complete_time = self.sim.now
+        return request
+
+    def _submit_write(self, request):
+        # Fingerprint at submission, commit at completion — the
+        # two-phase protocol that keeps racing reads false-alarm-free.
+        for index, lba in enumerate(request.blocks):
+            self.checksums.submit(lba, request.payload[index])
+        pending = []
+        for member, queue in enumerate(self._queues):
+            part = IORequest(WRITE, request.lba, request.nblocks,
+                             payload=list(request.payload), tag=request.tag)
+            self._activity[member].submitted += 1
+            pending.append((member, queue.submit(part)))
+        for member, event in pending:
+            yield event
+            self._activity[member].completed += 1
+        for index, lba in enumerate(request.blocks):
+            self.checksums.ack(lba, request.payload[index])
+
+    def _submit_read(self, request):
+        primary = self._preferred(request.lba)
+        part = IORequest(READ, request.lba, request.nblocks,
+                         tag=request.tag)
+        yield self._queues[primary].submit(part)
+        values = list(part.result)
+        for index, lba in enumerate(request.blocks):
+            if self.checksums.ok(lba, values[index]):
+                self.checksums.counters["verified"] += 1
+                continue
+            values[index] = yield from self._read_repair(
+                lba, primary, values[index])
+        request.result = values
+
+    def _read_repair(self, lba, bad_member, bad_value):
+        """Recover one block from the surviving replicas (generator).
+
+        Returns the verified value; rewrites it over the bad copy when
+        no newer write has raced past.  Raises irreparable when every
+        replica fails verification.
+        """
+        self.checksums.counters["mismatches"] += 1
+        self.sim.telemetry.instant("integrity.mismatch", "host",
+                                   volume=self.name, lba=lba,
+                                   member=self._devices[bad_member].name)
+        with self.sim.telemetry.span("vol.repair", "host", lba=lba):
+            for offset in range(1, self.width):
+                member = (bad_member + offset) % self.width
+                probe = IORequest(READ, lba, 1)
+                yield self._queues[member].submit(probe)
+                value = probe.result[0]
+                if not self.checksums.ok(lba, value):
+                    continue
+                # Heal the bad copy — unless a newer write already
+                # overwrote the block while the repair was in flight.
+                if self.checksums.committed(lba, value) == value:
+                    fix = IORequest(WRITE, lba, 1, payload=[value])
+                    self._activity[bad_member].submitted += 1
+                    yield self._queues[bad_member].submit(fix)
+                    self._activity[bad_member].completed += 1
+                    self.checksums.counters["repairs"] += 1
+                    self.sim.telemetry.instant(
+                        "integrity.repair", "host", volume=self.name,
+                        lba=lba, member=self._devices[bad_member].name)
+                return value
+            self.checksums.counters["irreparable"] += 1
+            raise IrreparableCorruptionError(
+                self.name, lba, kind=corrupt_kind(bad_value))
+
+    def scrub_read(self, lba):
+        return self.sim.process(self._scrub_read(lba))
+
+    def _scrub_read(self, lba):
+        """Scrub probe: verify *every* replica of ``lba``, repair the
+        bad ones from a verifying copy."""
+        probes = []
+        for member, queue in enumerate(self._queues):
+            probe = IORequest(READ, lba, 1)
+            probes.append((member, probe, queue.submit(probe)))
+        good, bad = None, []
+        for member, probe, event in probes:
+            yield event
+            value = probe.result[0]
+            if self.checksums.ok(lba, value):
+                self.checksums.counters["verified"] += 1
+                if good is None:
+                    good = value
+            else:
+                bad.append((member, value))
+        for member, value in bad:
+            self.checksums.counters["mismatches"] += 1
+            if good is None:
+                continue
+            if self.checksums.committed(lba, good) != good:
+                continue  # a racing write superseded this block
+            fix = IORequest(WRITE, lba, 1, payload=[good])
+            self._activity[member].submitted += 1
+            yield self._queues[member].submit(fix)
+            self._activity[member].completed += 1
+            self.checksums.counters["repairs"] += 1
+            self.sim.telemetry.instant(
+                "integrity.repair", "host", volume=self.name, lba=lba,
+                member=self._devices[member].name)
+        if bad and good is None:
+            self.checksums.counters["irreparable"] += 1
+            raise IrreparableCorruptionError(
+                self.name, lba, kind=corrupt_kind(bad[0][1]))
+        return good
+
+    def flush(self):
+        return self.sim.process(self._flush())
+
+    def _flush(self):
+        # Same dirty-member capture/commit protocol as StripedVolume.
+        covered = [(index, state.completed)
+                   for index, state in enumerate(self._activity)
+                   if state.dirty]
+        with self.sim.telemetry.span("vol.flush", "host",
+                                     fanout=len(covered)):
+            pending = [(index, completed, self._queues[index].flush())
+                       for index, completed in covered]
+            for index, completed, event in pending:
+                yield event
+                state = self._activity[index]
+                if completed > state.flushed:
+                    state.flushed = completed
+        return None
+
+    # --- post-crash inspection across replicas ---------------------------
+    def read_persistent(self, lba):
+        """Best surviving copy: a verifying replica if any, else the
+        first clean-looking one, else whatever the primary holds."""
+        values = [device.read_persistent(lba) for device in self._devices]
+        for value in values:
+            if self.checksums.ok(lba, value):
+                return value
+        return values[self._preferred(lba)]
+
+    def install_persistent(self, lba, value):
+        for device in self._devices:
+            device.install_persistent(lba, value)
+        self.checksums.ack(lba, value)
+
+
+class VerifyingTarget(BlockTarget):
+    """Checksum maintenance + read verification over any block target.
+
+    A pure wrapper for unreplicated topologies: writes are
+    fingerprinted (submit/ack) and reads are verified; a failed
+    verification raises :class:`~repro.host.integrity.CorruptDataError`
+    through the completion event — detected corruption is fail-stop,
+    never a wrong answer.  There is no replica to repair from; the
+    database's degrade machinery decides what survives.  All other
+    target duties delegate to the wrapped target.
+
+    With ``fail_stop=False`` the wrapper becomes a passive *auditor*:
+    mismatching reads are only counted (``counters["mismatches"]``) and
+    the value is returned to the caller unchanged.  The failure
+    harnesses stack an auditor outside the defense under test — any
+    read that reaches the auditor carrying unverifiable data was served
+    to the host *undetected*, which is exactly the safety property the
+    checker asserts.  An auditor registers no metrics and emits no
+    telemetry: the SLO monitor must detect corruption from the armed
+    defenses, never from the harness's own oracle.
+    """
+
+    def __init__(self, target, checksums=None, fail_stop=True):
+        self.target = target
+        self.sim = target.sim
+        self.fail_stop = fail_stop
+        self.name = ("verified[%s]" if fail_stop else "audit[%s]") \
+            % target.name
+        self.checksums = checksums if checksums is not None \
+            else BlockChecksums()
+        if fail_stop:
+            register_integrity_metrics(self.sim.telemetry.metrics,
+                                       self.checksums, self.name)
+
+    @property
+    def exported_lbas(self):
+        return self.target.exported_lbas
+
+    @property
+    def members(self):
+        return self.target.members
+
+    @property
+    def queues(self):
+        return self.target.queues
+
+    def region(self, placement):
+        return self.target.region(placement)
+
+    def locate(self, lba):
+        return self.target.locate(lba)
+
+    def read_persistent(self, lba):
+        return self.target.read_persistent(lba)
+
+    def persistent_view(self, blocks):
+        return self.target.persistent_view(blocks)
+
+    def install_persistent(self, lba, value):
+        self.target.install_persistent(lba, value)
+        self.checksums.ack(lba, value)
+
+    def submit(self, request):
+        return self.sim.process(self._submit(request))
+
+    def _submit(self, request):
+        checksums = self.checksums
+        if request.op == READ:
+            completed = yield self.target.submit(request)
+            for index, lba in enumerate(request.blocks):
+                value = completed.result[index]
+                if checksums.ok(lba, value):
+                    checksums.counters["verified"] += 1
+                    continue
+                checksums.counters["mismatches"] += 1
+                if not self.fail_stop:
+                    continue  # audit mode: tally and pass through
+                checksums.counters["irreparable"] += 1
+                self.sim.telemetry.instant("integrity.mismatch", "host",
+                                           volume=self.name, lba=lba)
+                raise CorruptDataError(self.name, lba,
+                                       kind=corrupt_kind(value))
+            return completed
+        for index, lba in enumerate(request.blocks):
+            checksums.submit(lba, request.payload[index])
+        completed = yield self.target.submit(request)
+        for index, lba in enumerate(request.blocks):
+            checksums.ack(lba, request.payload[index])
+        return completed
+
+    def scrub_read(self, lba):
+        """One scrub probe: read + verify a single block (timed)."""
+        return self.submit(IORequest(READ, lba, 1))
+
+    def flush(self):
+        return self.target.flush()
 
 
 class RegionView(BlockTarget):

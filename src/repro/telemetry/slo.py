@@ -276,6 +276,17 @@ def default_chaos_rules(deadline=0.01):
         SLORule("timeout_burn", "host.timeouts", stat="delta",
                 op="==", threshold=0.0, mode="burn", lookback=8,
                 budget=0.25),
+        # Data-integrity symptoms: the host-side checksum counters a
+        # defended volume exports (repro.host.integrity).  Worlds
+        # without checksums never register these instruments, so the
+        # rules are skipped there; a healthy defended world keeps all
+        # three flat.
+        SLORule("integrity_mismatches", "integrity.mismatches",
+                stat="delta", op="==", threshold=0.0),
+        SLORule("irreparable_corruption", "integrity.irreparable",
+                stat="value", op="==", threshold=0.0),
+        SLORule("scrub_findings", "scrub.found", stat="delta",
+                op="==", threshold=0.0),
     ]
 
 

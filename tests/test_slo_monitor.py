@@ -185,8 +185,12 @@ class TestChaosDetection:
                        for violation in result.violations)
 
     def test_default_chaos_rules_are_symptom_only(self):
+        # host.*/db.* lifecycle symptoms plus the host-side integrity
+        # and scrub counters — all observable without reading the
+        # injection models.
         for rule in default_chaos_rules():
-            assert rule.metric.split(".")[0] in ("host", "db"), \
+            assert rule.metric.split(".")[0] in ("host", "db",
+                                                 "integrity", "scrub"), \
                 "chaos detection must not read injection internals"
 
 
