@@ -21,6 +21,11 @@ Usage::
     python -m repro integrity                       # corruption vs defenses
     python -m repro integrity --smoke               # CI integrity gate
 
+    python -m repro failover                        # rebuild MTTR vs pace
+    python -m repro failover --smoke                # CI failover gate
+    python -m repro chaos --death mid-death --mirror 2 --spares 1
+    python -m repro chaos --list-profiles           # every fault profile
+
     python -m repro scaling                         # stripe-width sweep
     python -m repro figure5 --devices 4             # any bench, striped data
     python -m repro figure5 --mirror 2              # any bench, mirrored data
@@ -41,6 +46,7 @@ from .bench import (
     bursts,
     chaos,
     explain,
+    failover,
     figure5,
     figure6,
     integrity,
@@ -125,6 +131,8 @@ def main(argv=None):
         return chaos.main(argv[1:])
     if target == "integrity":
         return integrity.main(argv[1:])
+    if target == "failover":
+        return failover.main(argv[1:])
     if target == "scaling":
         return scaling.main(argv[1:])
     if target == "explain":

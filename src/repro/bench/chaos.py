@@ -6,6 +6,8 @@ Usage::
     python -m repro chaos innodb ssd-a --profile gc-storm --seeds 20
     python -m repro chaos --smoke                  # CI: every preset, quick
     python -m repro chaos --corruption bit-rot --mirror 2
+    python -m repro chaos --death mid-death --mirror 2 --spares 1
+    python -m repro chaos --list-profiles
     python -m repro chaos --seeds 20 --out repro.json
     python -m repro chaos --replay repro.json
 
@@ -26,7 +28,7 @@ import time
 
 from ..failures import chaos as harness
 from . import setups
-from .scenarios import CORRUPTION_PROFILES, GRAY_PROFILES
+from .scenarios import CORRUPTION_PROFILES, DEATH_PROFILES, GRAY_PROFILES
 
 DEVICES = ("hdd", "ssd-a", "ssd-b", "durassd")
 
@@ -38,12 +40,16 @@ SMOKE_BASE_OPS = 40
 
 def run_profile(engine, device, profile, seed, ops, gray_target="both",
                 stripe=1, corruption=None, mirror=1, checksums=None,
-                scrub=None):
+                scrub=None, death=None, death_target="data", spares=0,
+                rebuild_pace=None):
     scenario = harness.chaos_scenario(engine=engine, device=device,
                                       profile=profile, seed=seed, ops=ops,
                                       gray_target=gray_target, stripe=stripe,
                                       corruption=corruption, mirror=mirror,
-                                      checksums=checksums, scrub=scrub)
+                                      checksums=checksums, scrub=scrub,
+                                      death=death, death_target=death_target,
+                                      spares=spares,
+                                      rebuild_pace=rebuild_pace)
     result = harness.run_chaos(scenario)
     return scenario, result
 
@@ -56,11 +62,20 @@ def _print_result(label, result, elapsed):
              if result.degradation_ratio is not None else "-")
     detect = ("%.0fms" % (result.detection_latency_s * 1e3)
               if result.detection_latency_s is not None else "-")
-    print("%-32s %-6s ok=%-4d to=%-3d rej=%-3d ro=%-5s slow=%-6s "
-          "det=%-6s %5.1fs"
+    print("%-32s %-6s ok=%-4d to=%-3d rej=%-3d hard=%-3d ro=%-5s "
+          "slow=%-6s det=%-6s %5.1fs"
           % (label, verdict, result.ops_ok, result.ops_timed_out,
-             result.ops_rejected, result.read_only, ratio, detect,
-             elapsed))
+             result.ops_rejected, result.ops_failed_hard,
+             result.read_only, ratio, detect, elapsed))
+    if result.failover:
+        info = result.failover
+        mttr = ("%.0fms" % (info["rebuild_mttr_s"] * 1e3)
+                if info["rebuild_mttr_s"] is not None else "-")
+        print("    failover: dead=%s degraded=%.0fms copied=%d "
+              "mttr=%s lost=%d"
+              % (",".join(info["devices_dead"]) or "-",
+                 info["degraded_seconds"] * 1e3, info["blocks_copied"],
+                 mttr, info["data_loss_blocks"]))
     for violation in result.violations:
         print("    violation: %s" % violation)
 
@@ -139,22 +154,71 @@ def smoke(ops=None, seed=11):
                   time.time() - begin)
     if result.failed or not result.completed:
         exit_code = 1
+    # Whole-device fail-stop with a hot spare: mirror member 0 dies
+    # mid-stream, the survivor serves degraded, the rebuilder copies
+    # the tracked blocks onto the spare.  The verdict must carry a
+    # member-down detection latency and a rebuild MTTR, with zero
+    # acked-write loss — a completed rebuild is the PASS condition.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "none",
+                                    seed, max(ops, SMOKE_BASE_OPS),
+                                    death="mid-death",
+                                    death_target="data:0", mirror=2,
+                                    spares=1, checksums=True)
+    _print_result("innodb/durassd/mid-death (mirror=2, spare)", result,
+                  time.time() - begin)
+    info = result.failover or {}
+    if result.failed or not result.completed or not result.clean:
+        exit_code = 1
+    if info.get("data_loss_blocks"):
+        print("    acked writes lost with a survivor present")
+        exit_code = 1
+    if not info.get("rebuilds_completed"):
+        print("    hot-spare rebuild did not complete")
+        exit_code = 1
+    if result.detection_latency_s is None:
+        print("    member death fired no SLO alert")
+        exit_code = 1
+    # Second failure during rebuild: both mirror members die (the
+    # second mid-rebuild, the pace is slowed so the window is open).
+    # The cell must complete — and must *loudly* report detected data
+    # loss; a silent PASS here is the one unforgivable outcome.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "none",
+                                    seed, max(ops, SMOKE_BASE_OPS),
+                                    death="double-death",
+                                    death_target="data", mirror=2,
+                                    spares=1, rebuild_pace=5e-3)
+    _print_result("innodb/durassd/double-death (mirror=2, spare)", result,
+                  time.time() - begin)
+    if not result.completed:
+        exit_code = 1
+    if not any(violation.startswith("death:data-loss-detected")
+               for violation in result.violations):
+        print("    second death did not report detected data loss")
+        exit_code = 1
     print("chaos smoke: %s" % ("ok" if exit_code == 0 else "FAILED"))
     return exit_code
 
 
 def sweep_seeds(engine, device, profile, seeds, ops, base_seed=0,
-                out_path=None, corruption=None, mirror=1):
+                out_path=None, corruption=None, mirror=1, death=None,
+                death_target="data", spares=0):
     """``seeds`` independent runs of one profile; minimize the first
     failure to a replayable artifact when ``--out`` is given."""
     exit_code = 0
     for seed in range(base_seed, base_seed + seeds):
         begin = time.time()
         scenario, result = run_profile(engine, device, profile, seed, ops,
-                                       corruption=corruption, mirror=mirror)
+                                       corruption=corruption, mirror=mirror,
+                                       death=death,
+                                       death_target=death_target,
+                                       spares=spares)
         label = "%s/%s/%s" % (engine, device, profile)
         if corruption:
             label += "+%s" % corruption
+        if death:
+            label += "+%s" % death
         _print_result("%s seed=%d" % (label, seed),
                       result, time.time() - begin)
         if result.failed or not result.completed:
@@ -186,16 +250,27 @@ def replay(path):
     return 1 if (result.failed or not result.completed) else 0
 
 
+def _print_profiles():
+    """Every named fault profile the chaos harness can inject."""
+    print("gray-fault profiles (--profile NAME):")
+    for line in GRAY_PROFILES.listing():
+        print(line)
+    print("corruption profiles (--corruption NAME):")
+    for line in CORRUPTION_PROFILES.listing():
+        print(line)
+    print("death profiles (--death NAME):")
+    for line in DEATH_PROFILES.listing():
+        print(line)
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
-        print("profiles:")
-        for line in GRAY_PROFILES.listing():
-            print(line)
-        print("corruption profiles (--corruption NAME):")
-        for line in CORRUPTION_PROFILES.listing():
-            print(line)
+        _print_profiles()
+        return 0
+    if "--list-profiles" in argv:
+        _print_profiles()
         return 0
 
     def take_option(name, default=None):
@@ -217,6 +292,9 @@ def main(argv=None):
     out_path = take_option("--out")
     corruption = take_option("--corruption")
     mirror = int(take_option("--mirror", "1"))
+    death = take_option("--death")
+    death_target = take_option("--death-target", "data")
+    spares = int(take_option("--spares", "0"))
     if replay_path:
         return replay(replay_path)
     if smoke_mode:
@@ -233,9 +311,14 @@ def main(argv=None):
         print("no corruption profile %r (have: %s)"
               % (corruption, ", ".join(CORRUPTION_PROFILES.names())))
         return 2
-    if corruption and not profile:
-        # corruption alone is a valid chaos run: default the gray-fault
-        # dimension to the healthy control instead of sweeping it.
+    if death and death not in DEATH_PROFILES:
+        print("no death profile %r (have: %s)"
+              % (death, ", ".join(DEATH_PROFILES.names())))
+        return 2
+    if (corruption or death) and not profile:
+        # corruption or death alone is a valid chaos run: default the
+        # gray-fault dimension to the healthy control instead of
+        # sweeping it.
         profiles = ["none"]
     else:
         profiles = [profile] if profile else [name for name in GRAY_PROFILES
@@ -244,7 +327,9 @@ def main(argv=None):
     for name in profiles:
         code = sweep_seeds(engine, device, name, seeds, ops,
                            base_seed=seed, out_path=out_path,
-                           corruption=corruption, mirror=mirror)
+                           corruption=corruption, mirror=mirror,
+                           death=death, death_target=death_target,
+                           spares=spares)
         exit_code = exit_code or code
     return exit_code
 

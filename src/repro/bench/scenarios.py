@@ -13,7 +13,9 @@ Two sets live here because several CLIs share them:
 * :data:`GRAY_PROFILES` — the named gray-fault profiles (``repro
   chaos``, ``--gray-faults`` on benches, ``repro monitor``);
 * :data:`CORRUPTION_PROFILES` — the named silent-corruption profiles
-  (``repro chaos --corruption``, ``repro integrity``).
+  (``repro chaos --corruption``, ``repro integrity``);
+* :data:`DEATH_PROFILES` — the named whole-device fail-stop schedules
+  (``repro chaos --death``, ``repro failover``).
 
 The explain CLI registers its own set (:mod:`repro.bench.explain`).
 """
@@ -22,6 +24,10 @@ from ..devices import make_durassd
 from ..failures.corruption import (
     CORRUPTION_PROFILES as _CORRUPTION_MAKERS,
     make_corruption_profile,
+)
+from ..failures.death import (
+    DEATH_PROFILES as _DEATH_MAKERS,
+    make_death_schedule,
 )
 from ..failures.grayfaults import PROFILES
 from ..sim import units
@@ -163,4 +169,22 @@ for _name in sorted(_CORRUPTION_MAKERS):
         _name,
         _CORRUPTION_DESCRIPTIONS.get(_name, "silent-corruption profile"),
         (lambda name: lambda seed=0: make_corruption_profile(name, seed))(
+            _name))
+
+
+# --- whole-device fail-stop schedules ------------------------------------
+_DEATH_DESCRIPTIONS = {
+    "none": "no device death (healthy control)",
+    "early-death": "one member fail-stops early in the stream",
+    "mid-death": "one member fail-stops mid-stream",
+    "wearout": "SMART wear threshold trips a fail-stop",
+    "double-death": "a second member dies while the first rebuilds",
+}
+
+DEATH_PROFILES = ScenarioSet("death profile")
+for _name in sorted(_DEATH_MAKERS):
+    DEATH_PROFILES.register(
+        _name,
+        _DEATH_DESCRIPTIONS.get(_name, "fail-stop death schedule"),
+        (lambda name: lambda seed=0: make_death_schedule(name, seed))(
             _name))

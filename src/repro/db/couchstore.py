@@ -15,7 +15,7 @@ device without barriers the "durable" header may itself be a lie — the
 anomaly DuraSSD removes.
 """
 
-from ..host.lifecycle import DeviceTimeoutError
+from ..host.lifecycle import STORAGE_ERRORS
 from ..sim import units
 from ..sim.resources import Mutex
 from .btree import PagedBTree
@@ -109,7 +109,7 @@ class CouchstoreEngine:
                       for index in range(blocks)]
             try:
                 yield from self._append_wrapping(tokens)
-            except DeviceTimeoutError as error:
+            except STORAGE_ERRORS as error:
                 self.degradation.record_escalation(error)
                 raise
             self.counters["updates"] += 1
@@ -161,7 +161,7 @@ class CouchstoreEngine:
             self._headers.append((self.handle.lba_of(offset),
                                   self._sequence))
             yield from self.filesystem.fsync(self.handle)
-        except DeviceTimeoutError as error:
+        except STORAGE_ERRORS as error:
             # The commit never became durable and was never acked:
             # acked_commit_seq stays behind, so the lost-update oracle
             # remains truthful.  Repeated escalation demotes the bucket.

@@ -1,10 +1,12 @@
 """Graceful degradation for database engines over gray-failing devices.
 
-The host command lifecycle (:mod:`repro.host.lifecycle`) turns a hung
-or stalling device into a bounded failure: after the retry budget is
-exhausted a command raises
-:class:`~repro.host.lifecycle.DeviceTimeoutError`.  This module decides
-what the *database* does with that signal:
+The host command lifecycle (:mod:`repro.host.lifecycle`) turns a sick
+device into a bounded failure: a hung or stalling device raises
+:class:`~repro.host.lifecycle.DeviceTimeoutError` after the retry
+budget is exhausted, while a fail-stopped device raises
+:class:`~repro.devices.base.DeviceDeadError` immediately (retrying a
+corpse cannot help).  This module decides what the *database* does with
+those signals:
 
 * **Admission control** (:meth:`InnoDBEngine._admit_write`) pushes back
   on new writes while the dirty-page or WAL-append queues are over
@@ -77,7 +79,11 @@ class DegradationMonitor:
                             engine=name)
 
     def record_escalation(self, error):
-        """Note one :class:`DeviceTimeoutError`; demote at the limit.
+        """Note one escalated storage failure; demote at the limit.
+
+        Accepts any hard storage error — a timeout escalation, a
+        fail-stopped device or volume, detected corruption, or detected
+        data loss on a degraded mirror.
 
         Idempotent per error instance: an escalation inside a nested
         flush (an eviction under a page read under a write) passes

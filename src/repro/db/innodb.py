@@ -16,7 +16,7 @@ before its redo records do).
 """
 
 from ..host.integrity import CorruptDataError
-from ..host.lifecycle import DeviceTimeoutError
+from ..host.lifecycle import STORAGE_ERRORS
 from ..sim import units
 from .buffer_pool import BufferPool
 from .degrade import AdmissionBackpressureError, DegradationMonitor
@@ -25,6 +25,11 @@ from .locks import LockManager
 from .pagestore import PageStore
 from .treeshape import SyntheticTable
 from .wal import WriteAheadLog
+
+#: the storage-stack failures a statement fails cleanly on: detected
+#: corruption (incl. detected data loss on a degraded mirror), an
+#: exhausted retry ladder, or a fail-stopped device/volume
+_FAILSTOP_ERRORS = (CorruptDataError,) + STORAGE_ERRORS
 
 COMMIT_MARKER = "COMMIT"
 
@@ -260,7 +265,7 @@ class InnoDBEngine:
                 txn.last_lsn = lsn
                 txn.pages[(table.space_id, leaf_no)] = version
             return version
-        except (CorruptDataError, DeviceTimeoutError) as error:
+        except _FAILSTOP_ERRORS as error:
             # A write could not make progress — even when the escalating
             # command was a page *read-in* on the write's B-tree path.
             # Detected corruption on that path escalates the same way: the
@@ -287,7 +292,7 @@ class InnoDBEngine:
                 txn.last_lsn = lsn
                 try:
                     yield from self.wal.flush_to(lsn)
-                except (CorruptDataError, DeviceTimeoutError) as error:
+                except _FAILSTOP_ERRORS as error:
                     self.degradation.record_escalation(error)
                     raise
             finally:
@@ -315,7 +320,7 @@ class InnoDBEngine:
     def _flush_entries(self, entries):
         try:
             yield from self._flush_entries_inner(entries)
-        except (CorruptDataError, DeviceTimeoutError) as error:
+        except _FAILSTOP_ERRORS as error:
             # One recording point for every flush path (cleaner, forced
             # checkpoint, eviction, single-page): the pages stay dirty
             # and will be retried; repeated escalation demotes the
@@ -379,7 +384,7 @@ class InnoDBEngine:
                 entries = [(frame.key[0], frame.key[1], frame.version)
                            for frame in victims]
                 yield from self._flush_entries(entries)
-            except (CorruptDataError, DeviceTimeoutError):
+            except _FAILSTOP_ERRORS:
                 # Already recorded by _flush_entries.  The cleaner must
                 # survive a gray device — nobody waits on this process,
                 # so an uncaught exception would crash the simulation.

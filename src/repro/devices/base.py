@@ -14,6 +14,7 @@ preserving everything needed to detect lost and torn writes.
 import math
 
 from ..sim import units
+from ..sim.engine import Interrupted
 from ..sim.resources import Resource
 
 READ = "read"
@@ -24,6 +25,23 @@ FLUSH = "flush"
 
 class PowerFailedError(Exception):
     """An operation was attempted on a device that has lost power."""
+
+
+class DeviceDeadError(Exception):
+    """A hard, immediate command failure from a fail-stopped device.
+
+    Unlike :class:`~repro.host.lifecycle.DeviceTimeoutError` (the host
+    gave up on a silent device) this is the *device itself* reporting
+    that it is gone: retries, aborts and resets cannot help, and the
+    lifecycle layer escalates it without burning the retry ladder.
+    """
+
+    def __init__(self, device, cause=None):
+        self.device = device
+        self.cause = cause
+        detail = " (%s)" % cause if cause else ""
+        super().__init__("%s: command failed hard%s [device dead]"
+                         % (device, detail))
 
 
 class IORequest:
@@ -127,6 +145,13 @@ class StorageDevice:
         # by inject_corruption on devices that support it; kept on the
         # base so harness code can scan any device uniformly.
         self.corruption = None
+        # Fail-stop state: once dead, every command completes with a
+        # hard DeviceDeadError until the device is replaced (there is no
+        # resurrection — reboot restores power, not life).
+        self.dead = False
+        self.died_at = None
+        self.death_cause = None
+        self.death = None
         self._resetting = None
         self.counters = {"reads": 0, "writes": 0, "flushes": 0,
                          "blocks_read": 0, "blocks_written": 0,
@@ -144,6 +169,8 @@ class StorageDevice:
                         device=name)
         metrics.gauge("device.inflight",
                       fn=lambda: len(self._inflight), device=name)
+        metrics.gauge("device.dead",
+                      fn=lambda: 1 if self.dead else 0, device=name)
 
     # --- SMART-style self-report --------------------------------------------
     def smart(self):
@@ -154,6 +181,9 @@ class StorageDevice:
             "device": self.name,
             "model": type(self).__name__,
             "powered": self.powered,
+            "alive": not self.dead,
+            "died_at_s": self.died_at,
+            "death_cause": self.death_cause,
             "durable_cache": self.claims_durable_cache,
             "commands": dict(self.counters),
             "inflight": len(self._inflight),
@@ -172,6 +202,8 @@ class StorageDevice:
     def _service(self, request):
         if not self.powered:
             raise PowerFailedError(self.name)
+        if self.dead:
+            raise self._dead_error()
         process = self.sim.active_process
         self._inflight[process] = request
         try:
@@ -194,6 +226,14 @@ class StorageDevice:
                     self.counters["blocks_read"] += request.nblocks
                 request.complete_time = self.sim.now
                 self._on_command_end(request)
+                if self.death is not None and not self.dead:
+                    self.death.check_smart(self)
+        except Interrupted as exc:
+            # A fail-stop sweep unwinds in-flight commands with an
+            # interrupt; report them as hard failures, not host aborts.
+            if self.dead:
+                raise self._dead_error() from exc
+            raise
         finally:
             self._inflight.pop(process, None)
         return request
@@ -201,6 +241,8 @@ class StorageDevice:
     def _flush(self):
         if not self.powered:
             raise PowerFailedError(self.name)
+        if self.dead:
+            raise self._dead_error()
         process = self.sim.active_process
         self._inflight[process] = FLUSH
         try:
@@ -216,6 +258,10 @@ class StorageDevice:
                 finally:
                     self._flush_barrier = None
                     barrier.succeed()
+        except Interrupted as exc:
+            if self.dead:
+                raise self._dead_error() from exc
+            raise
         finally:
             self._inflight.pop(process, None)
 
@@ -299,6 +345,42 @@ class StorageDevice:
     def inject_gray_faults(self, model):
         """Attach a :class:`repro.failures.grayfaults.GrayFaultModel`."""
         self.gray_faults = model
+
+    def inject_death(self, model):
+        """Attach a :class:`repro.failures.death.DeviceDeathModel` and
+        arm its scheduled-death countdown."""
+        self.death = model
+        model.attach(self)
+
+    def _dead_error(self):
+        if self.death is not None:
+            self.death.on_dead_command()
+        return DeviceDeadError(self.name, self.death_cause)
+
+    def fail_stop(self, cause="fail-stop"):
+        """Whole-device fail-stop: the controller is gone, for good.
+
+        Idempotent.  Everything in flight is aborted (those commands
+        were never acked and surface to the host as hard
+        :class:`DeviceDeadError`); every later command fails at entry.
+        The process *currently executing* — e.g. the command whose SMART
+        self-check just tripped a death threshold — is left alone: it
+        completes, and the next command finds the corpse.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        self.died_at = self.sim.now
+        self.death_cause = cause
+        if self.death is not None:
+            self.death.on_death(self.sim.now, cause)
+        self.sim.telemetry.instant("dev.dead", "device", device=self.name,
+                                   cause=cause)
+        active = self.sim.active_process
+        for process in list(self._inflight):
+            if process is active:
+                continue
+            self.abort_command(process, cause="device-dead")
 
     @property
     def inflight_requests(self):

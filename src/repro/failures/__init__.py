@@ -22,6 +22,12 @@ from .corruption import (
     CorruptionModel,
     make_corruption_profile,
 )
+from .death import (
+    DEATH_PROFILES,
+    DeviceDeathModel,
+    DeviceDeathSchedule,
+    make_death_schedule,
+)
 from .faults import FaultConfig, FlashFaultError, TransientFaultModel
 from .grayfaults import (
     PROFILES,
@@ -51,6 +57,9 @@ __all__ = [
     "CheckReport",
     "CorruptionConfig",
     "CorruptionModel",
+    "DEATH_PROFILES",
+    "DeviceDeathModel",
+    "DeviceDeathSchedule",
     "FaultConfig",
     "FlashFaultError",
     "GrayFaultModel",
@@ -73,6 +82,7 @@ __all__ = [
     "make_artifact",
     "make_chaos_artifact",
     "make_corruption_profile",
+    "make_death_schedule",
     "make_profile",
     "minimize",
     "minimize_chaos",

@@ -35,6 +35,7 @@ import math
 from ..db import dbrecovery
 from ..db.degrade import DegradedError
 from ..db.pages import TornPageError
+from ..devices.base import DeviceDeadError
 from ..host.integrity import CorruptDataError
 from ..host.lifecycle import DeviceTimeoutError, TimeoutPolicy
 from ..telemetry.hub import Telemetry
@@ -46,6 +47,7 @@ from .checker import (
     check_write_order,
 )
 from .corruption import make_corruption_profile
+from .death import DeviceDeathSchedule, make_death_schedule
 from .grayfaults import GrayFaultProfile, make_profile
 from .injector import PowerFailureInjector
 from .torture import TortureScenario, build_world, generate_ops
@@ -80,7 +82,8 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                    gray_target="both", engine="innodb", barriers=None,
                    timeout_policy=None, admission_control=True,
                    horizon=None, stripe=1, corruption=None, mirror=1,
-                   checksums=None, scrub=None):
+                   checksums=None, scrub=None, death=None,
+                   death_target="data", spares=0, rebuild_pace=None):
     """A fully seeded chaos world description (a gray
     :class:`~repro.failures.torture.TortureScenario`).
 
@@ -98,6 +101,13 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
     With corruption armed, host checksums default on and (on a mirrored
     topology, ``mirror >= 2``) the background scrubber defaults on, so
     the standard corruption chaos world is the fully defended one.
+
+    ``death`` is a name from :data:`repro.failures.death.DEATH_PROFILES`
+    or a :class:`~repro.failures.death.DeviceDeathSchedule`.  Named
+    death profiles (like gray profiles) are scheduled on a generic
+    horizon and rescaled (kill instant and stagger, proportionally)
+    onto this stream's expected duration so the kill actually lands
+    mid-run.
     """
     if isinstance(corruption, str):
         corruption = make_corruption_profile(corruption, seed)
@@ -105,16 +115,25 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
         checksums = corruption is not None
     if scrub is None:
         scrub = mirror > 1 and checksums
+    if horizon is None:
+        horizon = max(0.02, ops * _SECONDS_PER_OP)
     if isinstance(profile, str):
         profile = make_profile(profile, seed)
-        if horizon is None:
-            horizon = max(0.02, ops * _SECONDS_PER_OP)
         data = profile.to_json()
         scale = horizon / data["horizon"]
         data["horizon"] = horizon
         if data["hang_at"] is not None:
             data["hang_at"] *= scale
         profile = GrayFaultProfile(**data)
+    if isinstance(death, str):
+        death = make_death_schedule(death, seed)
+        data = death.to_json()
+        scale = horizon / data["horizon"]
+        data["horizon"] = horizon
+        if data["die_at"] is not None:
+            data["die_at"] *= scale
+        data["stagger"] *= scale
+        death = DeviceDeathSchedule(**data)
     if timeout_policy is None:
         deadline = CHAOS_DEADLINES.get(device, CHAOS_DEADLINE)
         timeout_policy = TimeoutPolicy(deadline=deadline,
@@ -124,7 +143,9 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                            gray_profile=profile, gray_target=gray_target,
                            admission_control=admission_control,
                            stripe=stripe, corruption=corruption,
-                           mirror=mirror, checksums=checksums, scrub=scrub)
+                           mirror=mirror, checksums=checksums, scrub=scrub,
+                           death=death, death_target=death_target,
+                           spares=spares, rebuild_pace=rebuild_pace)
 
 
 class ChaosResult:
@@ -136,6 +157,7 @@ class ChaosResult:
         self.ops_ok = 0
         self.ops_timed_out = 0
         self.ops_rejected = 0
+        self.ops_failed_hard = 0
         self.ops_corrupt_detected = 0
         self.undetected_corrupt_reads = 0
         self.integrity_expected = False
@@ -156,6 +178,9 @@ class ChaosResult:
         self.slo_rules_evaluated = 0
         self.first_fault_s = None
         self.detection_latency_s = None
+        # Failover verdict: member deaths, degraded windows, rebuild
+        # MTTR and detected data loss (None when nothing ever died).
+        self.failover = None
 
     @property
     def clean(self):
@@ -181,6 +206,7 @@ class ChaosResult:
             "ops_ok": self.ops_ok,
             "ops_timed_out": self.ops_timed_out,
             "ops_rejected": self.ops_rejected,
+            "ops_failed_hard": self.ops_failed_hard,
             "ops_corrupt_detected": self.ops_corrupt_detected,
             "undetected_corrupt_reads": self.undetected_corrupt_reads,
             "integrity_expected": self.integrity_expected,
@@ -198,6 +224,7 @@ class ChaosResult:
             "slo_rules_evaluated": self.slo_rules_evaluated,
             "first_fault_s": self.first_fault_s,
             "detection_latency_s": self.detection_latency_s,
+            "failover": self.failover,
         }
 
     def __repr__(self):
@@ -238,6 +265,10 @@ def _chaos_client(workload, ops, progress, outcomes):
             yield from workload._operation(name, node)
         except DeviceTimeoutError:
             outcomes["timed_out"] += 1
+        except DeviceDeadError:
+            # A fail-stopped device (or fully dead volume) answers
+            # every command with a hard error: tolerated, tallied.
+            outcomes["dead"] = outcomes.get("dead", 0) + 1
         except (CorruptDataError, TornPageError):
             # A checksum (host or database page) turned a corrupt read
             # into an error: detected, fail-stop, tolerated.
@@ -273,6 +304,8 @@ def baseline_duration(scenario, ops, telemetry=None):
     quiet = dict(scenario.to_json())
     quiet["gray_profile"] = None
     quiet["corruption"] = None
+    quiet["death"] = None
+    quiet["spares"] = 0
     world = build_world(TortureScenario.from_json(quiet), telemetry)
     progress = {"completed": 0}
     outcomes = {"ok": 0, "timed_out": 0, "rejected": 0}
@@ -287,11 +320,13 @@ def baseline_duration(scenario, ops, telemetry=None):
 
 
 def _first_fault_time(world):
-    """Earliest instant any device's gray or corruption model perturbed
-    a command (for corruption: the first silently injected fault)."""
+    """Earliest instant any device's gray, corruption or death model
+    perturbed a command (for corruption: the first silently injected
+    fault; for death: the fail-stop instant)."""
     first = None
     for device in world.devices:
-        for model in (device.gray_faults, device.corruption):
+        for model in (device.gray_faults, device.corruption,
+                      device.death):
             if model is None or model.first_fault_time is None:
                 continue
             if first is None or model.first_fault_time < first:
@@ -326,10 +361,120 @@ def _evaluate_slo(world, scenario, profile, result):
                                       - result.first_fault_s)
     corruption_quiet = (scenario.corruption is None
                         or scenario.corruption.quiet)
-    if profile.quiet and corruption_quiet and episodes:
+    death_quiet = scenario.death is None or scenario.death.quiet
+    if profile.quiet and corruption_quiet and death_quiet and episodes:
         fired = sorted({episode.rule.name for episode in episodes})
         result.violations.append(
             "slo:false-positive:%s" % ",".join(fired))
+
+
+def _drain_rebuild(world):
+    """Let an in-flight rebuild finish (bounded) after the stream.
+
+    The rebuilder is a background process; the client stream routinely
+    completes while blocks are still being copied.  MTTR is a property
+    of the repair, not of the stream length, so the simulation idles on
+    until the spare is whole — or until a generous per-block bound says
+    the rebuild is stuck (reported by the failover verdict)."""
+    volume, rebuilder = world.volume, world.rebuilder
+    if volume is None or rebuilder is None:
+        return
+    sim = world.sim
+
+    def pending():
+        if all(volume._dead):
+            return False
+        if volume.rebuild_remaining():
+            return True
+        # a dead member with a spare still pooled: the rebuilder will
+        # claim it on its next idle tick — that counts as in-flight.
+        return bool(rebuilder.spares) and any(volume._dead)
+
+    if not pending():
+        return
+    backlog = max(volume.rebuild_remaining(),
+                  len(volume.checksums.tracked()))
+    deadline = sim.now + max(2.0, rebuilder.idle * 4
+                             + backlog * (rebuilder.pace * 4 + 0.02))
+    while pending() and sim.now < deadline:
+        sim.run_until(sim.timeout(min(0.05, deadline - sim.now)))
+
+
+def _evaluate_failover(world, scenario, result):
+    """The death verdict: who died, how long the mirror ran degraded,
+    whether the rebuild completed (and its MTTR), and — loudest of all
+    — whether any acked block is now *detected lost*.
+
+    Detected data loss voids the crash-consistency promise (the blocks
+    are gone and the stack said so); it is always reported as a
+    ``death:`` violation so a second-failure-during-rebuild cell can
+    never silently pass."""
+    deaths = [device for device in world.devices if device.dead]
+    volume = world.volume
+    if not deaths and volume is None:
+        return
+    if not deaths and not (volume.degraded or volume.mttr_samples):
+        return
+    info = {
+        "devices_dead": [device.name for device in deaths],
+        "first_death_s": None,
+        "members_dead": 0,
+        "degraded": False,
+        "degraded_seconds": 0.0,
+        "rebuilds_started": 0,
+        "rebuilds_completed": 0,
+        "blocks_copied": 0,
+        "rebuild_remaining": 0,
+        "rebuild_mttr_s": None,
+        "data_loss_blocks": 0,
+    }
+    death_times = [device.died_at for device in deaths
+                   if device.died_at is not None]
+    if death_times:
+        info["first_death_s"] = min(death_times)
+    if volume is not None:
+        window = volume.degraded_seconds
+        if volume.degraded_since is not None:
+            window += world.sim.now - volume.degraded_since
+        info.update(
+            members_dead=volume.members_dead(),
+            degraded=volume.degraded,
+            degraded_seconds=window,
+            rebuilds_started=volume.failover["rebuilds_started"],
+            rebuilds_completed=volume.failover["rebuilds_completed"],
+            blocks_copied=volume.failover["blocks_copied"],
+            rebuild_remaining=volume.rebuild_remaining(),
+            rebuild_mttr_s=(volume.mttr_samples[0]
+                            if volume.mttr_samples else None),
+            data_loss_blocks=len(volume._lost))
+        if volume._lost:
+            result.expected_clean = False
+            result.violations.append(
+                "death:data-loss-detected:blocks=%d" % len(volume._lost))
+        elif (deaths and world.rebuilder is not None
+                and info["rebuilds_started"]
+                and info["rebuilds_completed"]
+                < info["rebuilds_started"]):
+            result.violations.append(
+                "death:rebuild-incomplete:remaining=%d"
+                % info["rebuild_remaining"])
+    result.failover = info
+
+
+def _crash_checkable(world):
+    """Can the post-stream crash/recovery safety check run at all?
+
+    A fail-stopped log device, a dead unreplicated data path, or a
+    mirror with no fully-populated surviving member cannot recover —
+    the failover verdict (not the crash check) is the report for those
+    worlds."""
+    if world.log_device.dead:
+        return False
+    volume = world.volume
+    if volume is not None:
+        return any(not dead and not missing
+                   for dead, missing in zip(volume._dead, volume._missing))
+    return not any(device.dead for device in world.data_devices)
 
 
 def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
@@ -377,6 +522,7 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
         result.ops_ok = outcomes["ok"]
         result.ops_timed_out = outcomes["timed_out"]
         result.ops_rejected = outcomes["rejected"]
+        result.ops_failed_hard = outcomes.get("dead", 0)
         result.ops_corrupt_detected = outcomes.get("corrupt", 0)
         result.undetected_corrupt_reads = \
             check_undetected_corruption(world.audit)
@@ -405,9 +551,12 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
             result.violations.append(
                 "liveness:stuck-at-op-%d" % progress["completed"])
             _evaluate_slo(world, scenario, profile, result)
+            _evaluate_failover(world, scenario, result)
             span.annotate(stuck=True)
             return result
+        _drain_rebuild(world)
         _evaluate_slo(world, scenario, profile, result)
+        _evaluate_failover(world, scenario, result)
         if expect_read_only and not result.read_only:
             result.violations.append(
                 "degrade:no-readonly-demotion:escalations=%d"
@@ -429,7 +578,7 @@ def run_chaos(scenario, ops=None, telemetry=None, baseline=None,
                 result.violations.append(
                     "degradation:%.2fx>bound-%.2fx"
                     % (result.degradation_ratio, bound))
-        if crash_check:
+        if crash_check and _crash_checkable(world):
             _crash_and_check(world, result)
         span.annotate(violations=len(result.violations))
     return result

@@ -43,6 +43,7 @@ from ..devices import make_durassd, make_hdd, make_ssd_a, make_ssd_b
 from ..host import (
     FileSystem,
     MirroredVolume,
+    Rebuilder,
     Scrubber,
     StripedVolume,
     VerifyingTarget,
@@ -64,6 +65,7 @@ from .checker import (
     check_write_order,
 )
 from .corruption import CorruptionConfig, CorruptionModel
+from .death import DeviceDeathModel, DeviceDeathSchedule
 from .faults import FaultConfig, TransientFaultModel
 from .grayfaults import GrayFaultModel, GrayFaultProfile
 from .injector import PowerFailureInjector
@@ -99,7 +101,8 @@ class TortureScenario:
                  timeout_policy=None, gray_profile=None,
                  gray_target="both", admission_control=False, stripe=1,
                  corruption=None, corruption_target="data", mirror=1,
-                 checksums=False, scrub=False):
+                 checksums=False, scrub=False, death=None,
+                 death_target="data", spares=0, rebuild_pace=None):
         if engine not in _ENGINES:
             raise ValueError("unknown engine: %r" % engine)
         if device not in _DEVICE_MAKERS:
@@ -177,6 +180,30 @@ class TortureScenario:
             raise ValueError("scrub needs checksums or a mirror to verify "
                              "against")
         self.scrub = bool(scrub)
+        # Fail-stop device deaths and online repair (repro.failures.death,
+        # repro.host.volume.Rebuilder): all off by default.
+        if death is not None and not isinstance(death, DeviceDeathSchedule):
+            death = DeviceDeathSchedule(**death)
+        self.death = death
+        width = max(stripe, mirror)
+        if death_target.startswith("data:"):
+            member = int(death_target.split(":", 1)[1])
+            if not 0 <= member < width:
+                raise ValueError("death_target member %d outside width %d"
+                                 % (member, width))
+        elif death_target not in ("data", "log", "all"):
+            raise ValueError("death_target must be data, log, all or "
+                             "data:<member>: %r" % (death_target,))
+        self.death_target = death_target
+        spares = int(spares)
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
+        if spares and mirror <= 1:
+            raise ValueError("hot spares need a mirror to rebuild")
+        self.spares = spares
+        if rebuild_pace is not None and rebuild_pace <= 0:
+            raise ValueError("rebuild_pace must be > 0")
+        self.rebuild_pace = rebuild_pace
 
     @property
     def integrity_armed(self):
@@ -211,6 +238,10 @@ class TortureScenario:
             "mirror": self.mirror,
             "checksums": self.checksums,
             "scrub": self.scrub,
+            "death": self.death.to_json() if self.death else None,
+            "death_target": self.death_target,
+            "spares": self.spares,
+            "rebuild_pace": self.rebuild_pace,
         }
 
     @classmethod
@@ -228,7 +259,8 @@ class TortureWorld:
 
     def __init__(self, sim, engine, devices, workload, barriers,
                  expected_clean, data_devices=None, audit=None,
-                 scrubber=None, integrity_expected=False):
+                 scrubber=None, integrity_expected=False, volume=None,
+                 rebuilder=None, spare_devices=()):
         self.sim = sim
         self.engine = engine
         self.devices = devices
@@ -246,6 +278,12 @@ class TortureWorld:
         self.scrubber = scrubber
         #: does this world promise detection (checksums or mirror)?
         self.integrity_expected = integrity_expected
+        #: the striped/mirrored data volume, when the world has one
+        self.volume = volume
+        #: background online rebuilder, when hot spares are pooled
+        self.rebuilder = rebuilder
+        #: unattached hot-spare devices (they join via the rebuilder)
+        self.spare_devices = tuple(spare_devices)
 
 
 def build_world(scenario, telemetry=None):
@@ -268,7 +306,13 @@ def build_world(scenario, telemetry=None):
     else:
         data_devices = (maker(sim, capacity_bytes=data_capacity),)
     log_device = maker(sim, capacity_bytes=log_capacity)
-    devices = data_devices + (log_device,)
+    spare_devices = tuple(
+        maker(sim, capacity_bytes=data_capacity,
+              name="%s.s%d" % (scenario.device, index))
+        for index in range(scenario.spares))
+    # Spares sit between the data members and the log so devices[-1]
+    # stays the log device everywhere downstream.
+    devices = data_devices + spare_devices + (log_device,)
     for device in devices:
         if scenario.fault_config is not None and \
                 hasattr(device, "inject_faults"):
@@ -302,15 +346,31 @@ def build_world(scenario, telemetry=None):
                 and hasattr(log_device, "inject_corruption"):
             log_device.inject_corruption(CorruptionModel(
                 scenario.corruption, salt="log"))
+    if scenario.death is not None and not scenario.death.quiet:
+        # Fail-stop death models; ``index`` orders staggered deaths so a
+        # double-death profile kills members one after the other.
+        if scenario.death_target.startswith("data:"):
+            member = int(scenario.death_target.split(":", 1)[1])
+            data_devices[member].inject_death(DeviceDeathModel(
+                scenario.death, salt="data:%d" % member, index=0))
+        elif scenario.death_target in ("data", "all"):
+            for index, device in enumerate(data_devices):
+                device.inject_death(DeviceDeathModel(
+                    scenario.death, salt="data:%d" % index, index=index))
+        if scenario.death_target in ("log", "all"):
+            log_device.inject_death(DeviceDeathModel(
+                scenario.death, salt="log", index=len(data_devices)))
     all_durable = all(device.claims_durable_cache for device in devices)
     barriers = (not all_durable) if scenario.barriers is None \
         else scenario.barriers
+    volume = None
     if scenario.stripe > 1:
         data_target = StripedVolume(sim, data_devices,
                                     timeout_policy=scenario.timeout_policy)
     elif scenario.mirror > 1:
-        data_target = MirroredVolume(sim, data_devices,
-                                     timeout_policy=scenario.timeout_policy)
+        volume = MirroredVolume(sim, data_devices,
+                                timeout_policy=scenario.timeout_policy)
+        data_target = volume
     else:
         data_target = data_devices[0]
     if scenario.checksums and scenario.mirror <= 1:
@@ -349,11 +409,22 @@ def build_world(scenario, telemetry=None):
     if scenario.checksums:
         # Record-checksum verification of the redo log during recovery.
         engine.wal.verify_on_recovery = True
+    degradation = getattr(engine, "degradation", None)
     scrubber = None
     if scenario.scrub:
-        degradation = getattr(engine, "degradation", None)
         scrubber = Scrubber(
             sim, defended_target,
+            escalate=(degradation.record_escalation
+                      if degradation is not None else None))
+        if volume is not None:
+            # Repairs pause the scrubber; finished rebuilds hand it the
+            # copied blocks for re-verification.
+            volume.scrubber = scrubber
+    rebuilder = None
+    if volume is not None and spare_devices:
+        rebuilder = Rebuilder(
+            sim, volume, spares=list(spare_devices),
+            pace=scenario.rebuild_pace or 5e-4,
             escalate=(degradation.record_escalation
                       if degradation is not None else None))
     lb_config = LinkBenchConfig(db_bytes=scenario.db_bytes,
@@ -377,7 +448,9 @@ def build_world(scenario, telemetry=None):
     return TortureWorld(sim, engine, devices, workload, barriers,
                         expected_clean, data_devices=data_devices,
                         audit=audit, scrubber=scrubber,
-                        integrity_expected=scenario.integrity_armed)
+                        integrity_expected=scenario.integrity_armed,
+                        volume=volume, rebuilder=rebuilder,
+                        spare_devices=spare_devices)
 
 
 def generate_ops(scenario):

@@ -6,16 +6,23 @@ from .fio import FioJob, FioResult, run_fio
 from .integrity import (
     BlockChecksums,
     CorruptDataError,
+    DetectedDataLossError,
     IrreparableCorruptionError,
     Scrubber,
 )
-from .lifecycle import CommandLifecycle, DeviceTimeoutError, TimeoutPolicy
+from .lifecycle import (
+    STORAGE_ERRORS,
+    CommandLifecycle,
+    DeviceTimeoutError,
+    TimeoutPolicy,
+)
 from .ncq import CommandQueue
 from .trace import IOTracer, render_latency_histogram
 from .volume import (
     BlockTarget,
     MirroredVolume,
     PlacementVolume,
+    Rebuilder,
     RegionView,
     SingleDevice,
     StripedVolume,
@@ -29,7 +36,10 @@ __all__ = [
     "CommandLifecycle",
     "CommandQueue",
     "CorruptDataError",
+    "DetectedDataLossError",
     "DeviceTimeoutError",
+    "Rebuilder",
+    "STORAGE_ERRORS",
     "FSYNC_SYSCALL_TIME",
     "FileHandle",
     "FileSystem",

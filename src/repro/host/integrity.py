@@ -52,6 +52,22 @@ class IrreparableCorruptionError(CorruptDataError):
                          detail="no verifiable replica")
 
 
+class DetectedDataLossError(CorruptDataError):
+    """No surviving replica holds this block at all.
+
+    Raised by a degraded :class:`~repro.host.volume.MirroredVolume` when
+    every member holding a block has fail-stopped (the second-death-
+    during-rebuild scenario).  Subclasses :class:`CorruptDataError` so
+    the existing detect-and-fail-stop paths (database degradation,
+    chaos safety accounting) treat it as what it is: a *detected*,
+    loudly reported loss — never served as data, never silent.
+    """
+
+    def __init__(self, target, lba):
+        super().__init__(target, lba, detail="no surviving replica "
+                                             "(detected data loss)")
+
+
 class BlockChecksums:
     """Per-LBA reference fingerprints with two-phase write tracking.
 
@@ -86,8 +102,32 @@ class BlockChecksums:
                 del self._pending[lba]
         self._committed[lba] = value
 
+    def abandon(self, lba, value):
+        """Drop a pending fingerprint whose write failed on every
+        replica: the value never landed anywhere, so a later read must
+        not accept it."""
+        pending = self._pending.get(lba)
+        if pending is None:
+            return
+        try:
+            pending.remove(value)
+        except ValueError:
+            pass
+        if not pending:
+            del self._pending[lba]
+
     def committed(self, lba, default=None):
         return self._committed.get(lba, default)
+
+    def pending(self, lba):
+        """Is a write to ``lba`` currently in flight (submitted, not
+        yet acked)?  The rebuilder defers copying such blocks — the
+        write fence already covers them."""
+        return bool(self._pending.get(lba))
+
+    def pending_lbas(self):
+        """Every LBA with an in-flight write, ascending."""
+        return sorted(self._pending)
 
     def tracked(self):
         """Every LBA with a committed fingerprint, ascending — the
@@ -141,8 +181,13 @@ class Scrubber:
         self.idle = idle
         self.escalate = escalate
         self.counters = {"passes": 0, "blocks": 0, "found": 0,
-                         "escalations": 0}
+                         "escalations": 0, "pauses": 0, "reverified": 0}
         self._reported = set()  # irreparable LBAs already escalated
+        #: while True the scrubber idles without probing: a mirror
+        #: member is dead or rebuilding, and a one-copy block must not
+        #: be escalated as irreparable during a planned repair window
+        self.paused = False
+        self._reverify = set()  # rebuilt blocks to re-check on resume
         metrics = sim.telemetry.metrics
         metrics.counter("scrub.blocks",
                         fn=lambda: self.counters["blocks"],
@@ -156,15 +201,55 @@ class Scrubber:
         if auto_start:
             sim.process(self.run())
 
+    def pause(self, reason="repair"):
+        """Stop probing until :meth:`resume`.  Idempotent.
+
+        Called by the volume when a mirror member dies or a rebuild
+        begins: with one copy gone, a scrub probe would see a single
+        replica and could escalate a merely-degraded block as
+        irreparable mid-repair.
+        """
+        if self.paused:
+            return
+        self.paused = True
+        self.counters["pauses"] += 1
+        self.sim.telemetry.instant("scrub.pause", "host",
+                                   volume=self.target.name, reason=reason)
+
+    def resume(self, verify=()):
+        """Resume probing; ``verify`` blocks are re-checked first.
+
+        The rebuild hands over the set of blocks it copied so the next
+        scrub activity independently re-verifies the fresh replicas
+        before regular passes restart.
+        """
+        self._reverify.update(verify)
+        if not self.paused:
+            return
+        self.paused = False
+        self.sim.telemetry.instant("scrub.resume", "host",
+                                   volume=self.target.name,
+                                   reverify=len(self._reverify))
+
     def run(self):
         while True:
-            yield from self.scrub_pass()
+            if self.paused:
+                yield self.sim.timeout(self.idle)
+                continue
+            if self._reverify:
+                yield from self._verify_rebuilt()
+            else:
+                yield from self.scrub_pass()
             yield self.sim.timeout(self.idle)
 
     def scrub_pass(self):
         """One full walk over the tracked extent set (a generator)."""
         before = self.checksums.counters["mismatches"]
         for lba in self.checksums.tracked():
+            if self.paused:
+                # A member died mid-pass; abandon the walk, the repair
+                # machinery owns the volume until resume.
+                return
             if lba in self._reported:
                 # Quarantined: escalated as irreparable already; probing
                 # it every pass would just re-fire the mismatch alarm.
@@ -182,6 +267,25 @@ class Scrubber:
         self.counters["passes"] += 1
         self.counters["found"] += \
             self.checksums.counters["mismatches"] - before
+
+    def _verify_rebuilt(self):
+        """Re-verify blocks a completed rebuild copied (a generator)."""
+        backlog = sorted(self._reverify)
+        self._reverify.clear()
+        for position, lba in enumerate(backlog):
+            if self.paused:
+                self._reverify.update(backlog[position:])
+                return
+            if lba in self._reported:
+                continue
+            try:
+                yield self.target.scrub_read(lba)
+            except IrreparableCorruptionError as error:
+                self._escalate(lba, error)
+            except CorruptDataError as error:
+                self._escalate(lba, error)
+            self.counters["reverified"] += 1
+            yield self.sim.timeout(self.pace)
 
     def _escalate(self, lba, error):
         if lba in self._reported:

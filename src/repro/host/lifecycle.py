@@ -25,6 +25,7 @@ With ``policy=None`` the lifecycle is pass-through and byte-identical to
 the legacy submit path, so calibrated benchmarks are unperturbed.
 """
 
+from ..devices.base import DeviceDeadError
 from ..sim.engine import Interrupted
 from ..sim.rng import make_rng
 
@@ -32,12 +33,19 @@ from ..sim.rng import make_rng
 class DeviceTimeoutError(Exception):
     """A command exhausted its retry budget against an unresponsive device."""
 
-    def __init__(self, device, op, attempts):
-        super().__init__("%s: %s command timed out after %d attempts"
-                         % (device, op, attempts))
+    def __init__(self, device, op, attempts, alive=True):
+        super().__init__(
+            "%s: %s command timed out after %d attempts [device %s]"
+            % (device, op, attempts, "alive" if alive else "dead"))
         self.device = device
         self.op = op
         self.attempts = attempts
+        self.alive = alive
+
+
+#: the hard storage-stack failures database layers catch and escalate:
+#: an exhausted retry ladder or a fail-stopped device.
+STORAGE_ERRORS = (DeviceTimeoutError, DeviceDeadError)
 
 
 class TimeoutPolicy:
@@ -96,7 +104,7 @@ class CommandLifecycle:
     """
 
     COUNTER_KEYS = ("timeouts", "aborts", "resets", "retries",
-                    "escalations", "swept")
+                    "escalations", "swept", "hard_errors")
 
     def __init__(self, sim, device, policy=None):
         self.sim = sim
@@ -166,6 +174,17 @@ class CommandLifecycle:
                 timed_out = False
                 try:
                     index, value = yield self.sim.any_of([service, timer])
+                except DeviceDeadError:
+                    # Hard failure from a fail-stopped device: retries,
+                    # aborts and resets cannot help.  Skip the ladder and
+                    # escalate immediately — this is what lets the volume
+                    # layer declare a member dead in one round trip
+                    # instead of after max_attempts deadlines.
+                    self.counters["hard_errors"] += 1
+                    telemetry.instant("host.hard_error", "host",
+                                      device=self.device.name, op=op,
+                                      lba=lba, attempt=attempt)
+                    raise
                 except Interrupted as exc:
                     if not (service.triggered and service.value is exc):
                         # This dispatch process itself was interrupted
@@ -205,7 +224,8 @@ class CommandLifecycle:
                 telemetry.instant("host.escalate", "host",
                                   device=self.device.name, op=op,
                                   lba=lba, attempts=attempt)
-                raise DeviceTimeoutError(self.device.name, op, attempt)
+                raise DeviceTimeoutError(self.device.name, op, attempt,
+                                         alive=not self.device.dead)
             with telemetry.span("lifecycle.backoff", "host",
                                 device=self.device.name, op=op,
                                 attempt=attempt):

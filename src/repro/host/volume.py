@@ -27,15 +27,33 @@ volume, which is exactly the "WAL colocated" arm of the log-placement
 ablation in ``repro.bench.scaling``.
 """
 
-from ..devices.base import READ, WRITE, IORequest
+from ..devices.base import READ, WRITE, DeviceDeadError, IORequest
 from ..flash.torn import corrupt_kind
 from .integrity import (
     BlockChecksums,
     CorruptDataError,
+    DetectedDataLossError,
     IrreparableCorruptionError,
     register_integrity_metrics,
 )
+from .lifecycle import DeviceTimeoutError
 from .ncq import CommandQueue
+
+#: a mirror member is declared dead on either hard failure mode: the
+#: device reported itself gone, or the lifecycle's retry ladder gave up
+_MEMBER_FATAL = (DeviceDeadError, DeviceTimeoutError)
+
+
+def _observed(_event):
+    """No-op completion callback for fan-out member events.
+
+    A fan-out awaits its member events one at a time; a member that
+    fails *while a sibling is being awaited* is a failed event with no
+    waiter at that instant, which the simulator escalates to a crash
+    (rightly — an unobserved failure is a dropped error).  Registering
+    this observer at submit time marks every member event as supervised,
+    so per-member failures surface only when the fan-out reaches them.
+    """
 
 
 class BlockTarget:
@@ -190,6 +208,13 @@ class StripedVolume(BlockTarget):
     ``timeout_policy`` is armed, its own
     :class:`~repro.host.lifecycle.CommandLifecycle` — a deadline expiry
     aborts and soft-resets only the member that stalled.
+
+    RAID-0 has no redundancy: a member that fail-stops takes the whole
+    volume with it.  The first :class:`DeviceDeadError` from any member
+    marks the volume failed, and every later command fails fast the
+    same way — the database's degrade machinery escalates those errors
+    into a clean read-only demotion instead of limping on a volume that
+    can no longer serve half its stripes.
     """
 
     def __init__(self, sim, devices, chunk_blocks=8, queue_depth=32,
@@ -199,6 +224,8 @@ class StripedVolume(BlockTarget):
         if chunk_blocks < 1:
             raise ValueError("chunk_blocks must be >= 1")
         self.sim = sim
+        #: cause string once any member fail-stopped (volume unusable)
+        self.failed = None
         self.chunk_blocks = chunk_blocks
         self.width = len(devices)
         self._devices = tuple(devices)
@@ -273,6 +300,8 @@ class StripedVolume(BlockTarget):
         return self.sim.process(self._submit(request))
 
     def _submit(self, request):
+        if self.failed is not None:
+            raise DeviceDeadError(self.name, self.failed)
         if request.lba + request.nblocks > self._exported:
             raise ValueError("request past end of %s: lba=%d n=%d"
                              % (self.name, request.lba, request.nblocks))
@@ -289,11 +318,16 @@ class StripedVolume(BlockTarget):
                                  payload=payload, tag=request.tag)
                 if request.op == WRITE:
                     self._activity[member].submitted += 1
-                pending.append((member, offset, count,
-                                self._queues[member].submit(part)))
+                event = self._queues[member].submit(part)
+                event.callbacks.append(_observed)
+                pending.append((member, offset, count, event))
             result = [None] * request.nblocks if request.op == READ else None
             for member, offset, count, event in pending:
-                part = yield event
+                try:
+                    part = yield event
+                except DeviceDeadError as error:
+                    self._fail_volume(member, error)
+                    raise
                 if request.op == WRITE:
                     self._activity[member].completed += 1
                 else:
@@ -303,10 +337,20 @@ class StripedVolume(BlockTarget):
             request.complete_time = self.sim.now
         return request
 
+    def _fail_volume(self, member, error):
+        if self.failed is not None:
+            return
+        self.failed = "member %s dead: %s" \
+            % (self._devices[member].name, error)
+        self.sim.telemetry.instant("vol.failed", "host", volume=self.name,
+                                   cause=self.failed)
+
     def flush(self):
         return self.sim.process(self._flush())
 
     def _flush(self):
+        if self.failed is not None:
+            raise DeviceDeadError(self.name, self.failed)
         # Fan out only to dirty members; capture each member's completed
         # count now, commit it when that member's flush lands.
         covered = [(index, state.completed)
@@ -314,10 +358,17 @@ class StripedVolume(BlockTarget):
                    if state.dirty]
         with self.sim.telemetry.span("vol.flush", "host",
                                      fanout=len(covered)):
-            pending = [(index, completed, self._queues[index].flush())
-                       for index, completed in covered]
+            pending = []
+            for index, completed in covered:
+                event = self._queues[index].flush()
+                event.callbacks.append(_observed)
+                pending.append((index, completed, event))
             for index, completed, event in pending:
-                yield event
+                try:
+                    yield event
+                except DeviceDeadError as error:
+                    self._fail_volume(index, error)
+                    raise
                 state = self._activity[index]
                 if completed > state.flushed:
                     state.flushed = completed
@@ -341,6 +392,19 @@ class MirroredVolume(BlockTarget):
     Each member gets its own :class:`CommandQueue` (and lifecycle, when
     a ``timeout_policy`` is armed), so a gray or corrupt member never
     blocks its healthy replica.
+
+    **Degraded mode.**  A member whose commands fail *hard* — the
+    device fail-stopped (:class:`DeviceDeadError`) or the retry ladder
+    exhausted (:class:`DeviceTimeoutError`) — is declared dead: writes
+    fan out to survivors only, reads route around the corpse, and the
+    volume keeps serving as long as one member lives.  A hot spare can
+    be attached in a dead member's slot (:meth:`attach_spare`); new
+    writes are *fenced* to it immediately while a
+    :class:`Rebuilder` copies the tracked blocks it lacks in the
+    background.  A block whose every live holder is gone is *detected
+    data loss*: reads and rebuild raise
+    :class:`~repro.host.integrity.DetectedDataLossError` — loud and
+    fail-stop, never a hang, never a fabricated answer.
     """
 
     def __init__(self, sim, devices, checksums=None, queue_depth=32,
@@ -349,24 +413,71 @@ class MirroredVolume(BlockTarget):
             raise ValueError("a mirrored volume needs at least two devices")
         self.sim = sim
         self.width = len(devices)
-        self._devices = tuple(devices)
+        self._devices = list(devices)
         self.name = "mirror[%s]" % ",".join(d.name for d in devices)
-        self._queues = tuple(
+        self._queue_depth = queue_depth
+        self._ordered_queue = ordered_queue
+        self._rng = rng
+        self._timeout_policy = timeout_policy
+        self._queues = [
             CommandQueue(sim, device, depth=queue_depth,
                          ordered=ordered_queue, rng=rng,
                          timeout_policy=timeout_policy)
-            for device in devices)
-        self._activity = tuple(_MemberActivity() for _ in devices)
+            for device in devices]
+        self._activity = [_MemberActivity() for _ in devices]
         self._exported = min(d.exported_lbas for d in devices)
         self.checksums = checksums if checksums is not None \
             else BlockChecksums()
+        # Failover state: which member slots are dead, which blocks a
+        # rebuilding replacement still lacks (None = fully synced), and
+        # the authoritative set of blocks known lost (no live holder).
+        self._dead = [False] * self.width
+        self._missing = [None] * self.width
+        self._rebuilt = {}  # member -> blocks copied by the rebuild
+        self._lost = set()
+        self.failover = {"member_deaths": 0, "rebuilds_started": 0,
+                         "rebuilds_completed": 0, "blocks_copied": 0}
+        self.first_death_s = None
+        self.degraded_since = None
+        self.degraded_seconds = 0.0
+        #: degraded-window lengths (death -> fully healthy), i.e. MTTR
+        self.mttr_samples = []
+        self.scrubber = None
+        self.rebuilder = None
         metrics = sim.telemetry.metrics
         for index, device in enumerate(devices):
             metrics.counter(
                 "host.member_submitted",
                 fn=lambda index=index: self._activity[index].submitted,
                 volume=self.name, member=device.name)
+        metrics.gauge("host.members_dead", fn=self.members_dead,
+                      volume=self.name)
+        metrics.gauge("host.degraded",
+                      fn=lambda: 1 if self.degraded else 0,
+                      volume=self.name)
+        metrics.gauge("host.rebuild_remaining", fn=self.rebuild_remaining,
+                      volume=self.name)
+        metrics.counter("host.rebuild_copied",
+                        fn=lambda: self.failover["blocks_copied"],
+                        volume=self.name)
+        metrics.counter("host.data_loss_blocks",
+                        fn=lambda: len(self._lost), volume=self.name)
         register_integrity_metrics(metrics, self.checksums, self.name)
+
+    def members_dead(self):
+        return sum(1 for dead in self._dead if dead)
+
+    @property
+    def degraded(self):
+        """Is the volume short a replica anywhere (dead member, or a
+        spare still being rebuilt)?"""
+        return any(self._dead) \
+            or any(missing is not None for missing in self._missing)
+
+    def rebuild_remaining(self):
+        """Blocks still to be copied across all rebuilding members."""
+        return sum(len(missing) for missing in self._missing
+                   if missing is not None)
 
     @property
     def exported_lbas(self):
@@ -374,19 +485,56 @@ class MirroredVolume(BlockTarget):
 
     @property
     def members(self):
-        return self._devices
+        return tuple(self._devices)
 
     @property
     def queues(self):
-        return self._queues
+        return tuple(self._queues)
 
     def _preferred(self, lba):
         """The member a read of ``lba`` is served from (reads spread
         over replicas; repair probes the others in rotation order)."""
         return lba % self.width
 
+    def _holds(self, member, lba):
+        """Does a live ``member`` currently hold a copy of ``lba``?"""
+        if self._dead[member]:
+            return False
+        missing = self._missing[member]
+        return missing is None or lba not in missing
+
     def locate(self, lba):
-        return self._devices[self._preferred(lba)], lba
+        start = self._preferred(lba)
+        for offset in range(self.width):
+            member = (start + offset) % self.width
+            if self._holds(member, lba):
+                return self._devices[member], lba
+        return self._devices[start], lba
+
+    def _member_failed(self, member, error):
+        """Declare one member dead: fence it out of every fan-out.
+
+        Idempotent.  Reads and writes already route around the slot on
+        the next command; the scrubber is paused (one-copy blocks must
+        not be escalated as irreparable during a repair window) and the
+        degraded-window clock starts for MTTR accounting.
+        """
+        if self._dead[member]:
+            return
+        self._dead[member] = True
+        self._missing[member] = None
+        self._rebuilt.pop(member, None)
+        self.failover["member_deaths"] += 1
+        now = self.sim.now
+        if self.first_death_s is None:
+            self.first_death_s = now
+        if self.degraded_since is None:
+            self.degraded_since = now
+        self.sim.telemetry.instant(
+            "vol.member_dead", "host", volume=self.name,
+            member=self._devices[member].name, cause=str(error))
+        if self.scrubber is not None:
+            self.scrubber.pause(reason="member-dead")
 
     def submit(self, request):
         return self.sim.process(self._submit(request))
@@ -413,21 +561,68 @@ class MirroredVolume(BlockTarget):
             self.checksums.submit(lba, request.payload[index])
         pending = []
         for member, queue in enumerate(self._queues):
+            if self._dead[member]:
+                continue
             part = IORequest(WRITE, request.lba, request.nblocks,
                              payload=list(request.payload), tag=request.tag)
             self._activity[member].submitted += 1
-            pending.append((member, queue.submit(part)))
+            event = queue.submit(part)
+            event.callbacks.append(_observed)
+            pending.append((member, event))
+        acked = 0
+        failure = None
         for member, event in pending:
-            yield event
+            try:
+                yield event
+            except _MEMBER_FATAL as error:
+                failure = error
+                self._member_failed(member, error)
+                continue
             self._activity[member].completed += 1
+            acked += 1
+            missing = self._missing[member]
+            if missing is not None:
+                # The write fence: a rebuilding member that acked this
+                # write now holds these blocks at their newest version.
+                missing.difference_update(request.blocks)
+        if not acked:
+            # The write landed nowhere; it must not verify later.
+            for index, lba in enumerate(request.blocks):
+                self.checksums.abandon(lba, request.payload[index])
+            if failure is None:
+                failure = DeviceDeadError(self.name,
+                                          "no surviving mirror member")
+            raise failure
         for index, lba in enumerate(request.blocks):
             self.checksums.ack(lba, request.payload[index])
 
+    def _read_primary(self, request):
+        """The member to serve a whole read from, or None when no live
+        member holds the full range (degraded per-block assembly)."""
+        start = self._preferred(request.lba)
+        for offset in range(self.width):
+            member = (start + offset) % self.width
+            if self._dead[member]:
+                continue
+            missing = self._missing[member]
+            if missing and not missing.isdisjoint(request.blocks):
+                continue
+            return member
+        return None
+
     def _submit_read(self, request):
-        primary = self._preferred(request.lba)
+        primary = self._read_primary(request)
+        if primary is None:
+            yield from self._read_degraded(request)
+            return
         part = IORequest(READ, request.lba, request.nblocks,
                          tag=request.tag)
-        yield self._queues[primary].submit(part)
+        try:
+            yield self._queues[primary].submit(part)
+        except _MEMBER_FATAL as error:
+            self._member_failed(primary, error)
+            yield from self._read_degraded(request)
+            return
         values = list(part.result)
         for index, lba in enumerate(request.blocks):
             if self.checksums.ok(lba, values[index]):
@@ -436,6 +631,58 @@ class MirroredVolume(BlockTarget):
             values[index] = yield from self._read_repair(
                 lba, primary, values[index])
         request.result = values
+
+    def _read_degraded(self, request):
+        """Per-block assembly when no single live member holds the whole
+        range: serve each block from any live holder."""
+        values = []
+        for lba in request.blocks:
+            values.append((yield from self._read_block_survivor(lba)))
+        request.result = values
+
+    def _read_block_survivor(self, lba):
+        """One block from any live verifying holder (generator).
+
+        A block every live holder has lost is *detected data loss* —
+        recorded, reported loudly, never served as fabricated data.
+        """
+        if lba in self._lost:
+            raise DetectedDataLossError(self.name, lba)
+        saw_copy = False
+        bad_value = None
+        for offset in range(self.width):
+            member = (self._preferred(lba) + offset) % self.width
+            if not self._holds(member, lba):
+                continue
+            probe = IORequest(READ, lba, 1)
+            try:
+                yield self._queues[member].submit(probe)
+            except _MEMBER_FATAL as error:
+                self._member_failed(member, error)
+                continue
+            saw_copy = True
+            value = probe.result[0]
+            if self.checksums.ok(lba, value):
+                self.checksums.counters["verified"] += 1
+                return value
+            self.checksums.counters["mismatches"] += 1
+            bad_value = value
+        if saw_copy:
+            self.checksums.counters["irreparable"] += 1
+            raise IrreparableCorruptionError(self.name, lba,
+                                             kind=corrupt_kind(bad_value))
+        self._note_data_loss(lba)
+        raise DetectedDataLossError(self.name, lba)
+
+    def _note_data_loss(self, lba):
+        if lba in self._lost:
+            return
+        self._lost.add(lba)
+        for missing in self._missing:
+            if missing is not None:
+                missing.discard(lba)  # unrecoverable: stop rebuilding it
+        self.sim.telemetry.instant("vol.data_loss", "host",
+                                   volume=self.name, lba=lba)
 
     def _read_repair(self, lba, bad_member, bad_value):
         """Recover one block from the surviving replicas (generator).
@@ -449,10 +696,18 @@ class MirroredVolume(BlockTarget):
                                    volume=self.name, lba=lba,
                                    member=self._devices[bad_member].name)
         with self.sim.telemetry.span("vol.repair", "host", lba=lba):
+            if lba in self._lost:
+                raise DetectedDataLossError(self.name, lba)
             for offset in range(1, self.width):
                 member = (bad_member + offset) % self.width
+                if not self._holds(member, lba):
+                    continue
                 probe = IORequest(READ, lba, 1)
-                yield self._queues[member].submit(probe)
+                try:
+                    yield self._queues[member].submit(probe)
+                except _MEMBER_FATAL as error:
+                    self._member_failed(member, error)
+                    continue
                 value = probe.result[0]
                 if not self.checksums.ok(lba, value):
                     continue
@@ -461,7 +716,11 @@ class MirroredVolume(BlockTarget):
                 if self.checksums.committed(lba, value) == value:
                     fix = IORequest(WRITE, lba, 1, payload=[value])
                     self._activity[bad_member].submitted += 1
-                    yield self._queues[bad_member].submit(fix)
+                    try:
+                        yield self._queues[bad_member].submit(fix)
+                    except _MEMBER_FATAL as error:
+                        self._member_failed(bad_member, error)
+                        return value  # the read itself is satisfied
                     self._activity[bad_member].completed += 1
                     self.checksums.counters["repairs"] += 1
                     self.sim.telemetry.instant(
@@ -476,15 +735,25 @@ class MirroredVolume(BlockTarget):
         return self.sim.process(self._scrub_read(lba))
 
     def _scrub_read(self, lba):
-        """Scrub probe: verify *every* replica of ``lba``, repair the
-        bad ones from a verifying copy."""
+        """Scrub probe: verify every *live holding* replica of ``lba``,
+        repair the bad ones from a verifying copy."""
+        if lba in self._lost:
+            raise DetectedDataLossError(self.name, lba)
         probes = []
         for member, queue in enumerate(self._queues):
+            if not self._holds(member, lba):
+                continue
             probe = IORequest(READ, lba, 1)
-            probes.append((member, probe, queue.submit(probe)))
+            event = queue.submit(probe)
+            event.callbacks.append(_observed)
+            probes.append((member, probe, event))
         good, bad = None, []
         for member, probe, event in probes:
-            yield event
+            try:
+                yield event
+            except _MEMBER_FATAL as error:
+                self._member_failed(member, error)
+                continue
             value = probe.result[0]
             if self.checksums.ok(lba, value):
                 self.checksums.counters["verified"] += 1
@@ -494,13 +763,17 @@ class MirroredVolume(BlockTarget):
                 bad.append((member, value))
         for member, value in bad:
             self.checksums.counters["mismatches"] += 1
-            if good is None:
+            if good is None or self._dead[member]:
                 continue
             if self.checksums.committed(lba, good) != good:
                 continue  # a racing write superseded this block
             fix = IORequest(WRITE, lba, 1, payload=[good])
             self._activity[member].submitted += 1
-            yield self._queues[member].submit(fix)
+            try:
+                yield self._queues[member].submit(fix)
+            except _MEMBER_FATAL as error:
+                self._member_failed(member, error)
+                continue
             self._activity[member].completed += 1
             self.checksums.counters["repairs"] += 1
             self.sim.telemetry.instant(
@@ -516,35 +789,276 @@ class MirroredVolume(BlockTarget):
         return self.sim.process(self._flush())
 
     def _flush(self):
+        if all(self._dead):
+            raise DeviceDeadError(self.name, "no surviving mirror member")
         # Same dirty-member capture/commit protocol as StripedVolume.
         covered = [(index, state.completed)
                    for index, state in enumerate(self._activity)
-                   if state.dirty]
+                   if state.dirty and not self._dead[index]]
         with self.sim.telemetry.span("vol.flush", "host",
                                      fanout=len(covered)):
-            pending = [(index, completed, self._queues[index].flush())
-                       for index, completed in covered]
+            pending = []
+            for index, completed in covered:
+                event = self._queues[index].flush()
+                event.callbacks.append(_observed)
+                pending.append((index, completed, event))
             for index, completed, event in pending:
-                yield event
+                try:
+                    yield event
+                except _MEMBER_FATAL as error:
+                    self._member_failed(index, error)
+                    continue
                 state = self._activity[index]
                 if completed > state.flushed:
                     state.flushed = completed
         return None
 
+    # --- hot spares and online rebuild ------------------------------------
+    def attach_spare(self, member, device):
+        """Replace dead slot ``member`` with a hot spare.
+
+        The spare joins the write fan-out immediately (the *fence*: no
+        new write can be missed), while every already-tracked block —
+        committed or still in flight — is recorded as missing until the
+        :class:`Rebuilder` copies it over.  Reads skip the spare for
+        blocks it does not hold yet.
+        """
+        if not self._dead[member]:
+            raise ValueError("member %d of %s is not dead"
+                             % (member, self.name))
+        self._devices[member] = device
+        self._queues[member] = CommandQueue(
+            self.sim, device, depth=self._queue_depth,
+            ordered=self._ordered_queue, rng=self._rng,
+            timeout_policy=self._timeout_policy)
+        self._activity[member] = _MemberActivity()
+        self._dead[member] = False
+        missing = set(self.checksums.tracked())
+        missing.update(self.checksums.pending_lbas())
+        missing -= self._lost
+        self._missing[member] = missing
+        self._rebuilt[member] = set()
+        self.failover["rebuilds_started"] += 1
+        self.sim.telemetry.instant("vol.spare_attach", "host",
+                                   volume=self.name, member=device.name,
+                                   missing=len(missing))
+
+    def next_rebuild_block(self, member):
+        """The lowest block ``member`` still lacks, or None."""
+        missing = self._missing[member]
+        if not missing:
+            return None
+        return min(missing)
+
+    def rebuild_block(self, member, lba):
+        """Copy one block onto a rebuilding member (generator).
+
+        Returns True when a copy landed, False when the block needs no
+        work (already synced, write-fence in flight, or the member
+        died).  A block with no live verifying source raises
+        :class:`~repro.host.integrity.DetectedDataLossError` — after
+        dropping it from the work list, so the rebuild still terminates.
+        """
+        missing = self._missing[member]
+        if missing is None or lba not in missing:
+            return False
+        if self.checksums.pending(lba):
+            # A fenced write to this block is in flight; it lands on
+            # this member directly and clears it from the work list.
+            # Copying the old value now could overtake the new one.
+            return False
+        value = None
+        for offset in range(self.width):
+            source = (lba + offset) % self.width
+            if source == member or not self._holds(source, lba):
+                continue
+            probe = IORequest(READ, lba, 1)
+            try:
+                yield self._queues[source].submit(probe)
+            except _MEMBER_FATAL as error:
+                self._member_failed(source, error)
+                continue
+            if self.checksums.ok(lba, probe.result[0]):
+                value = probe.result[0]
+                break
+        if value is None:
+            missing.discard(lba)
+            self._note_data_loss(lba)
+            raise DetectedDataLossError(self.name, lba)
+        fix = IORequest(WRITE, lba, 1, payload=[value])
+        self._activity[member].submitted += 1
+        try:
+            yield self._queues[member].submit(fix)
+        except _MEMBER_FATAL as error:
+            self._member_failed(member, error)
+            return False
+        self._activity[member].completed += 1
+        missing.discard(lba)
+        self.failover["blocks_copied"] += 1
+        rebuilt = self._rebuilt.get(member)
+        if rebuilt is not None:
+            rebuilt.add(lba)
+        return True
+
+    def finish_rebuild(self, member):
+        """Mark ``member`` fully synced; close the degraded window.
+
+        Returns the set of blocks the rebuild copied (handed to the
+        scrubber for independent re-verification on resume).
+        """
+        rebuilt = self._rebuilt.pop(member, set())
+        self._missing[member] = None
+        self.failover["rebuilds_completed"] += 1
+        healthy = not self.degraded
+        self.sim.telemetry.instant("vol.rebuild_done", "host",
+                                   volume=self.name,
+                                   member=self._devices[member].name,
+                                   copied=len(rebuilt))
+        if healthy and self.degraded_since is not None:
+            window = self.sim.now - self.degraded_since
+            self.degraded_seconds += window
+            self.mttr_samples.append(window)
+            self.degraded_since = None
+        if healthy and self.scrubber is not None:
+            self.scrubber.resume(verify=rebuilt)
+        return rebuilt
+
     # --- post-crash inspection across replicas ---------------------------
     def read_persistent(self, lba):
         """Best surviving copy: a verifying replica if any, else the
-        first clean-looking one, else whatever the primary holds."""
-        values = [device.read_persistent(lba) for device in self._devices]
-        for value in values:
+        first clean-looking one, else whatever the primary holds.
+        Dead members and blocks a rebuilding member has not copied yet
+        are not consulted."""
+        values = {}
+        for member, device in enumerate(self._devices):
+            if not self._holds(member, lba):
+                continue
+            values[member] = device.read_persistent(lba)
+        for value in values.values():
             if self.checksums.ok(lba, value):
                 return value
-        return values[self._preferred(lba)]
+        if not values:
+            return None
+        preferred = self._preferred(lba)
+        if preferred in values:
+            return values[preferred]
+        return next(iter(values.values()))
 
     def install_persistent(self, lba, value):
-        for device in self._devices:
+        for member, device in enumerate(self._devices):
+            if self._dead[member]:
+                continue
             device.install_persistent(lba, value)
+            missing = self._missing[member]
+            if missing is not None:
+                missing.discard(lba)
         self.checksums.ack(lba, value)
+
+
+class Rebuilder:
+    """Background online rebuild of a degraded mirror onto hot spares.
+
+    Modeled on the :class:`~repro.host.integrity.Scrubber`: an
+    idle-paced simulated-time process.  When a mirror member is dead and
+    a spare is available, the spare is attached (joining the write fence
+    immediately) and the tracked blocks it lacks are copied over at a
+    bounded ``pace`` — one block per ``pace`` simulated seconds — so
+    the rebuild's read load on the survivor is throttled against
+    foreground traffic.  MTTR is therefore a *policy outcome*: a faster
+    pace shortens the one-copy window but costs foreground p99 (the
+    trade the ``failover`` bench sweeps).
+
+    A second failure during rebuild leaves blocks with no live source;
+    each is dropped from the work list, recorded as *detected data
+    loss* and escalated (once per block) to ``escalate`` — typically
+    the database's degradation monitor, which demotes to read-only.
+    The rebuild then still terminates: loudly degraded, never hung,
+    never pretending to have healed.
+    """
+
+    def __init__(self, sim, volume, spares=(), pace=5e-4, idle=0.05,
+                 escalate=None, auto_start=True):
+        if pace <= 0 or idle <= 0:
+            raise ValueError("rebuild pace and idle must be positive")
+        self.sim = sim
+        self.volume = volume
+        self.spares = list(spares)
+        self.pace = pace
+        self.idle = idle
+        self.escalate = escalate
+        self.counters = {"rebuilds": 0, "completed": 0, "copied": 0,
+                         "lost": 0, "aborted": 0}
+        self._lost_reported = set()
+        volume.rebuilder = self
+        metrics = sim.telemetry.metrics
+        metrics.counter("rebuild.copied",
+                        fn=lambda: self.counters["copied"],
+                        volume=volume.name)
+        metrics.counter("rebuild.completed",
+                        fn=lambda: self.counters["completed"],
+                        volume=volume.name)
+        metrics.counter("rebuild.lost",
+                        fn=lambda: self.counters["lost"],
+                        volume=volume.name)
+        if auto_start:
+            sim.process(self.run())
+
+    def add_spare(self, device):
+        """Add a device to the hot-spare pool."""
+        self.spares.append(device)
+
+    def run(self):
+        while True:
+            member = self._claim()
+            if member is None:
+                yield self.sim.timeout(self.idle)
+                continue
+            yield from self.rebuild(member)
+
+    def _claim(self):
+        """The member slot to work on: an interrupted rebuild first,
+        else a dead slot a pooled spare can take over."""
+        volume = self.volume
+        for member in range(volume.width):
+            if volume._missing[member] is not None \
+                    and not volume._dead[member]:
+                return member
+        for member in range(volume.width):
+            if volume._dead[member] and self.spares:
+                spare = self.spares.pop(0)
+                volume.attach_spare(member, spare)
+                self.counters["rebuilds"] += 1
+                return member
+        return None
+
+    def rebuild(self, member):
+        """Drain one member's missing-block list (a generator)."""
+        volume = self.volume
+        with self.sim.telemetry.span(
+                "vol.rebuild", "host", volume=volume.name,
+                member=volume._devices[member].name):
+            while True:
+                if volume._dead[member]:
+                    # The replacement died too; back to claiming.
+                    self.counters["aborted"] += 1
+                    return
+                lba = volume.next_rebuild_block(member)
+                if lba is None:
+                    break
+                try:
+                    copied = yield from volume.rebuild_block(member, lba)
+                except CorruptDataError as error:
+                    self.counters["lost"] += 1
+                    if self.escalate is not None \
+                            and lba not in self._lost_reported:
+                        self._lost_reported.add(lba)
+                        self.escalate(error)
+                    continue
+                if copied:
+                    self.counters["copied"] += 1
+                yield self.sim.timeout(self.pace)
+            self.counters["completed"] += 1
+            volume.finish_rebuild(member)
 
 
 class VerifyingTarget(BlockTarget):

@@ -287,6 +287,17 @@ def default_chaos_rules(deadline=0.01):
                 stat="value", op="==", threshold=0.0),
         SLORule("scrub_findings", "scrub.found", stat="delta",
                 op="==", threshold=0.0),
+        # Fail-stop symptoms: a mirrored volume exports member-death
+        # and detected-data-loss gauges (repro.host.volume); the host
+        # lifecycle counts hard errors everywhere.  Unreplicated worlds
+        # skip the volume rules (instruments never register), but any
+        # world notices a corpse through hard_errors.
+        SLORule("member_down", "host.members_dead", stat="value",
+                op="==", threshold=0.0),
+        SLORule("data_loss", "host.data_loss_blocks", stat="value",
+                op="==", threshold=0.0),
+        SLORule("hard_errors", "host.hard_errors", stat="delta",
+                op="==", threshold=0.0),
     ]
 
 
