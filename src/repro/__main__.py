@@ -30,6 +30,8 @@ Usage::
     python -m repro figure5 --devices 4             # any bench, striped data
     python -m repro figure5 --mirror 2              # any bench, mirrored data
     python -m repro table5 --log-device             # dedicated log placement
+    python -m repro figure5 --interface nvme --sq 4 # NVMe multi-queue host
+    python -m repro table1 --queue-depth 64         # deeper queue slots
 
     python -m repro explain linkbench               # latency blame report
     python -m repro regress                         # perf gate vs baseline
@@ -153,9 +155,12 @@ def main(argv=None):
         index = argv.index("--metrics-interval")
         setups.set_metrics_interval(float(argv[index + 1]))
         argv = argv[:index] + argv[index + 2:]
-    if "--devices" in argv or "--mirror" in argv or "--log-device" in argv:
-        # Run any bench table on a striped or mirrored data target
-        # and/or with the log placed on a dedicated device.
+    if ("--devices" in argv or "--mirror" in argv or "--log-device" in argv
+            or "--interface" in argv or "--sq" in argv
+            or "--queue-depth" in argv):
+        # Run any bench table on a striped or mirrored data target,
+        # with the log placed on a dedicated device, and/or behind a
+        # chosen host interface (SATA NCQ vs NVMe multi-queue).
         width = 1
         if "--devices" in argv:
             index = argv.index("--devices")
@@ -169,8 +174,25 @@ def main(argv=None):
         dedicated_log = "--log-device" in argv
         if dedicated_log:
             argv = [arg for arg in argv if arg != "--log-device"]
+        interface = "sata"
+        if "--interface" in argv:
+            index = argv.index("--interface")
+            interface = argv[index + 1]
+            argv = argv[:index] + argv[index + 2:]
+        submission_queues = None
+        if "--sq" in argv:
+            index = argv.index("--sq")
+            submission_queues = int(argv[index + 1])
+            argv = argv[:index] + argv[index + 2:]
+        queue_depth = None
+        if "--queue-depth" in argv:
+            index = argv.index("--queue-depth")
+            queue_depth = int(argv[index + 1])
+            argv = argv[:index] + argv[index + 2:]
         setups.set_topology(data_devices=width, dedicated_log=dedicated_log,
-                            mirror=mirror)
+                            mirror=mirror, interface=interface,
+                            submission_queues=submission_queues,
+                            queue_depth=queue_depth)
     if target == "all":
         for name in ORDER:
             print("=" * 70)

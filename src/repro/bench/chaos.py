@@ -7,6 +7,7 @@ Usage::
     python -m repro chaos --smoke                  # CI: every preset, quick
     python -m repro chaos --corruption bit-rot --mirror 2
     python -m repro chaos --death mid-death --mirror 2 --spares 1
+    python -m repro chaos --interface nvme --sq 4    # NVMe multi-queue host
     python -m repro chaos --list-profiles
     python -m repro chaos --seeds 20 --out repro.json
     python -m repro chaos --replay repro.json
@@ -41,7 +42,7 @@ SMOKE_BASE_OPS = 40
 def run_profile(engine, device, profile, seed, ops, gray_target="both",
                 stripe=1, corruption=None, mirror=1, checksums=None,
                 scrub=None, death=None, death_target="data", spares=0,
-                rebuild_pace=None):
+                rebuild_pace=None, interface="sata", submission_queues=2):
     scenario = harness.chaos_scenario(engine=engine, device=device,
                                       profile=profile, seed=seed, ops=ops,
                                       gray_target=gray_target, stripe=stripe,
@@ -49,7 +50,9 @@ def run_profile(engine, device, profile, seed, ops, gray_target="both",
                                       checksums=checksums, scrub=scrub,
                                       death=death, death_target=death_target,
                                       spares=spares,
-                                      rebuild_pace=rebuild_pace)
+                                      rebuild_pace=rebuild_pace,
+                                      interface=interface,
+                                      submission_queues=submission_queues)
     result = harness.run_chaos(scenario)
     return scenario, result
 
@@ -119,6 +122,19 @@ def smoke(ops=None, seed=11):
                                     seed, max(ops, SMOKE_BASE_OPS),
                                     gray_target="data:1", stripe=2)
     _print_result("innodb/durassd/gc-storm (stripe=2, member 1)", result,
+                  time.time() - begin)
+    if result.failed or not result.completed:
+        exit_code = 1
+    # The same gray-fault ladder behind the NVMe multi-queue host
+    # interface: deadlines, aborts and soft resets must work per
+    # submission queue, and the post-run power-cut recovery must still
+    # check clean — the queue model changes dispatch, not durability.
+    begin = time.time()
+    _scenario, result = run_profile("innodb", "durassd", "gc-storm",
+                                    seed, max(ops, SMOKE_BASE_OPS),
+                                    gray_target="data",
+                                    interface="nvme", submission_queues=2)
+    _print_result("innodb/durassd/gc-storm (nvme, sq=2)", result,
                   time.time() - begin)
     if result.failed or not result.completed:
         exit_code = 1
@@ -203,7 +219,8 @@ def smoke(ops=None, seed=11):
 
 def sweep_seeds(engine, device, profile, seeds, ops, base_seed=0,
                 out_path=None, corruption=None, mirror=1, death=None,
-                death_target="data", spares=0):
+                death_target="data", spares=0, interface="sata",
+                submission_queues=2):
     """``seeds`` independent runs of one profile; minimize the first
     failure to a replayable artifact when ``--out`` is given."""
     exit_code = 0
@@ -213,7 +230,8 @@ def sweep_seeds(engine, device, profile, seeds, ops, base_seed=0,
                                        corruption=corruption, mirror=mirror,
                                        death=death,
                                        death_target=death_target,
-                                       spares=spares)
+                                       spares=spares, interface=interface,
+                                       submission_queues=submission_queues)
         label = "%s/%s/%s" % (engine, device, profile)
         if corruption:
             label += "+%s" % corruption
@@ -295,6 +313,8 @@ def main(argv=None):
     death = take_option("--death")
     death_target = take_option("--death-target", "data")
     spares = int(take_option("--spares", "0"))
+    interface = take_option("--interface", "sata")
+    submission_queues = int(take_option("--sq", "2"))
     if replay_path:
         return replay(replay_path)
     if smoke_mode:
@@ -329,7 +349,8 @@ def main(argv=None):
                            base_seed=seed, out_path=out_path,
                            corruption=corruption, mirror=mirror,
                            death=death, death_target=death_target,
-                           spares=spares)
+                           spares=spares, interface=interface,
+                           submission_queues=submission_queues)
         exit_code = exit_code or code
     return exit_code
 

@@ -35,10 +35,12 @@ P99_TOLERANCE = 0.05
 SMOKE_TOLERANCE = 0.25
 
 
-SECTIONS = ("throughput", "log_placement", "mirroring")
+SECTIONS = ("throughput", "log_placement", "mirroring", "interfaces")
 
 
 def _key(record):
+    if "interface" in record:
+        return ("interfaces", record["interface"], record["sq"])
     if "mirror" in record:
         return ("mirroring", record["mode"], record["mirror"])
     if "mode" in record:
@@ -123,8 +125,19 @@ def run_fresh(baseline, smoke=False):
             print("  ran mirror=%d      %8.0f tps  p99=%.2fms"
                   % (record["mirror"], record["tps"],
                      record["p99_write_s"] * 1e3))
+    interfaces = []
+    if not smoke:
+        for base_rec in baseline.get("interfaces", ()):
+            record = scaling.run_interface(
+                base_rec["interface"], base_rec["sq"],
+                barriers=base_rec["mode"] == "flush-cache",
+                ops_per_client=ops)
+            interfaces.append(record)
+            print("  ran %-5s sq=%d     %8.0f tps  p99=%.2fms"
+                  % (record["interface"], record["sq"], record["tps"],
+                     record["p99_write_s"] * 1e3))
     return {"throughput": throughput, "log_placement": placement,
-            "mirroring": mirroring}
+            "mirroring": mirroring, "interfaces": interfaces}
 
 
 def format_rows(rows):

@@ -14,11 +14,15 @@ this table shows host-level parallelism compounding it.  Two results:
   replicated across 2 checksum-verified mirrors (RAID-1 with
   read-repair): the integrity tax in TPS and p99 relative to the bare
   single device.
+* **Interface sweep** — the width-1 world behind each host queue
+  model: the calibrated single-queue SATA NCQ versus NVMe multi-queue
+  at 1/2/4 submission queues (log stream pinned to the last SQ).
 
 Usage::
 
     python -m repro scaling                   # full sweep + ablation
     python -m repro scaling --smoke           # CI: width 1/2, tiny ops
+    python -m repro scaling --smoke --interface nvme --sq 2
     python -m repro scaling --out BENCH_scaling.json
 
 The JSON report (ops/s, p99 seconds, simulated seconds, wall seconds
@@ -31,7 +35,7 @@ import sys
 import time
 
 from ..db.innodb import InnoDBConfig, InnoDBEngine
-from ..host import FileSystem, RegionView, StripedVolume
+from ..host import FileSystem, QueueTopology, RegionView, StripedVolume
 from ..sim import units
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 from . import setups
@@ -55,6 +59,9 @@ BUFFER_GB = 2
 ABLATION_WIDTH = 2
 
 MIRROR_WIDTH = 2
+
+#: NVMe submission-queue counts swept by the interface section
+SQ_COUNTS = (1, 2, 4)
 
 
 def _measure(engine, sim, clients, ops_per_client):
@@ -83,8 +90,11 @@ def run_width(width, barriers, clients=CLIENTS, ops_per_client=None):
     log_device = setups.make_device(
         sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4),
         name="%s.log" % DEVICE_KIND)
-    data_fs = FileSystem(sim, data_target, barriers=barriers)
-    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    model = setups.queue_topology()
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
+                         queue_model=model)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        queue_model=model)
     config = InnoDBConfig(page_size=PAGE_SIZE,
                           buffer_pool_bytes=setups.scaled(BUFFER_GB))
     engine = InnoDBEngine(sim, data_fs, log_fs, config)
@@ -110,6 +120,7 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
     db_bytes = setups.scaled_db_bytes()
     data_bytes = int(db_bytes * 2.5)
     log_bytes = max(units.GIB, db_bytes // 4)
+    model = setups.queue_topology()
     if colocated:
         member_bytes = -(-(data_bytes + log_bytes) // width)
         members = tuple(
@@ -117,7 +128,7 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
                                capacity_bytes=member_bytes,
                                name="%s.d%d" % (DEVICE_KIND, index))
             for index in range(width))
-        volume = StripedVolume(sim, members)
+        volume = StripedVolume(sim, members, queue_model=model)
         data_blocks = units.lba_count(data_bytes)
         data_fs = FileSystem(
             sim, RegionView(volume, 0, data_blocks, name="shared.data"),
@@ -133,8 +144,10 @@ def run_placement(colocated, width=ABLATION_WIDTH, clients=CLIENTS,
         log_device = setups.make_device(sim, DEVICE_KIND,
                                         capacity_bytes=log_bytes,
                                         name="%s.log" % DEVICE_KIND)
-        data_fs = FileSystem(sim, data_target, barriers=barriers)
-        log_fs = FileSystem(sim, log_device, barriers=barriers)
+        data_fs = FileSystem(sim, data_target, barriers=barriers,
+                             queue_model=model)
+        log_fs = FileSystem(sim, log_device, barriers=barriers,
+                            queue_model=model)
     config = InnoDBConfig(page_size=PAGE_SIZE,
                           buffer_pool_bytes=setups.scaled(BUFFER_GB))
     engine = InnoDBEngine(sim, data_fs, log_fs, config)
@@ -159,8 +172,11 @@ def run_mirror(mirror, barriers=False, clients=CLIENTS,
     log_device = setups.make_device(
         sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4),
         name="%s.log" % DEVICE_KIND)
-    data_fs = FileSystem(sim, data_target, barriers=barriers)
-    log_fs = FileSystem(sim, log_device, barriers=barriers)
+    model = setups.queue_topology()
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
+                         queue_model=model)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        queue_model=model)
     config = InnoDBConfig(page_size=PAGE_SIZE,
                           buffer_pool_bytes=setups.scaled(BUFFER_GB))
     engine = InnoDBEngine(sim, data_fs, log_fs, config)
@@ -171,7 +187,50 @@ def run_mirror(mirror, barriers=False, clients=CLIENTS,
     return record
 
 
-def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
+def run_interface(interface, sq=1, barriers=False, clients=CLIENTS,
+                  ops_per_client=None, queue_depth=None):
+    """One interface-sweep cell: the width-1 world behind an explicit
+    queue model.
+
+    ``interface`` is ``"sata"`` (the calibrated single NCQ — the
+    reference cell) or ``"nvme"`` with ``sq`` submission queues; under
+    NVMe with several queues the log stream pins to the last SQ, so
+    redo flushes never queue behind data-page writes.  Built with an
+    explicit :class:`QueueTopology` — independent of ``set_topology``,
+    so the sweep is self-describing and reruns exactly.
+    """
+    if ops_per_client is None:
+        ops_per_client = setups.ops_scale(BASE_OPS_PER_CLIENT)
+    if interface == "sata":
+        sq = 1
+        model = QueueTopology(interface="sata", queue_depth=queue_depth)
+    else:
+        affinity = {"log": sq - 1} if sq > 1 else None
+        model = QueueTopology(interface="nvme", submission_queues=sq,
+                              queue_depth=queue_depth, affinity=affinity)
+    sim = setups.fresh_world()
+    db_bytes = setups.scaled_db_bytes()
+    data_target, _members = setups.make_data_target(
+        sim, DEVICE_KIND, int(db_bytes * 2.5), width=1)
+    log_device = setups.make_device(
+        sim, DEVICE_KIND, capacity_bytes=max(units.GIB, db_bytes // 4),
+        name="%s.log" % DEVICE_KIND)
+    data_fs = FileSystem(sim, data_target, barriers=barriers,
+                         queue_model=model)
+    log_fs = FileSystem(sim, log_device, barriers=barriers,
+                        queue_model=model)
+    config = InnoDBConfig(page_size=PAGE_SIZE,
+                          buffer_pool_bytes=setups.scaled(BUFFER_GB))
+    engine = InnoDBEngine(sim, data_fs, log_fs, config)
+    record = _measure(engine, sim, clients, ops_per_client)
+    record.update({"interface": interface, "sq": sq,
+                   "mode": "durable-cache" if not barriers
+                   else "flush-cache"})
+    return record
+
+
+def run_all(widths=WIDTHS, ops_per_client=None, ablation=True,
+            sq_counts=SQ_COUNTS):
     """The full sweep; returns the JSON-ready report dict."""
     throughput = []
     for label, barriers in MODES:
@@ -201,6 +260,16 @@ def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
             print("  mirror=%d      %8.0f tps  p99=%.2fms"
                   % (mirror, record["tps"],
                      record["p99_write_s"] * 1e3))
+    interfaces = []
+    if sq_counts:
+        cells = [("sata", 1)] + [("nvme", sq) for sq in sq_counts]
+        for interface, sq in cells:
+            record = run_interface(interface, sq,
+                                   ops_per_client=ops_per_client)
+            interfaces.append(record)
+            print("  %-5s sq=%d     %8.0f tps  p99=%.2fms"
+                  % (interface, sq, record["tps"],
+                     record["p99_write_s"] * 1e3))
     return {
         "benchmark": "scaling",
         "workload": "linkbench",
@@ -211,6 +280,7 @@ def run_all(widths=WIDTHS, ops_per_client=None, ablation=True):
         "throughput": throughput,
         "log_placement": placement,
         "mirroring": mirroring,
+        "interfaces": interfaces,
     }
 
 
@@ -253,6 +323,15 @@ def format_table(report):
             lines.append("  mirror=%d   %8.0f tps  p99=%.2fms%s"
                          % (record["mirror"], record["tps"],
                             record["p99_write_s"] * 1e3, cost))
+    interfaces = report.get("interfaces", ())
+    if interfaces:
+        lines.append("host interface (width 1, durable-cache):")
+        for record in interfaces:
+            label = record["interface"] if record["interface"] == "sata" \
+                else "%s sq=%d" % (record["interface"], record["sq"])
+            lines.append("  %-10s %8.0f tps  p99=%.2fms"
+                         % (label, record["tps"],
+                            record["p99_write_s"] * 1e3))
     return "\n".join(lines)
 
 
@@ -274,12 +353,37 @@ def main(argv=None):
         index = argv.index("--ops")
         ops = int(argv[index + 1])
         del argv[index:index + 2]
+    interface = "sata"
+    if "--interface" in argv:
+        index = argv.index("--interface")
+        interface = argv[index + 1]
+        del argv[index:index + 2]
+    submission_queues = None
+    if "--sq" in argv:
+        index = argv.index("--sq")
+        submission_queues = int(argv[index + 1])
+        del argv[index:index + 2]
+    queue_depth = None
+    if "--queue-depth" in argv:
+        index = argv.index("--queue-depth")
+        queue_depth = int(argv[index + 1])
+        del argv[index:index + 2]
+    if interface != "sata" or submission_queues is not None \
+            or queue_depth is not None:
+        # Re-shape the width/placement/mirror cells too: the whole
+        # sweep then runs behind the requested host interface.
+        setups.set_topology(interface=interface,
+                            submission_queues=submission_queues,
+                            queue_depth=queue_depth)
     if smoke:
         widths = (1, 2)
+        sq_counts = (1, 2)
         ops = ops if ops is not None else 12
     else:
         widths = WIDTHS
-    report = run_all(widths=widths, ops_per_client=ops)
+        sq_counts = SQ_COUNTS
+    report = run_all(widths=widths, ops_per_client=ops,
+                     sq_counts=sq_counts)
     print()
     print(format_table(report))
     with open(out_path, "w") as handle:

@@ -15,7 +15,11 @@ policy lives in one place.  Environment knobs:
   ``--log-device`` CLI flags) — data targets built afterwards stripe
   over N member devices or mirror across N checksum-verified replicas,
   and the single-drive Couchbase world moves its append log onto a
-  dedicated device via a placement volume.
+  dedicated device via a placement volume.  The same knob selects the
+  host interface (``--interface sata|nvme`` / ``--sq N`` /
+  ``--queue-depth N``): every queue the world builds afterwards comes
+  from one :class:`repro.host.QueueTopology`, either the calibrated
+  single-queue SATA NCQ or an NVMe-style multi-queue model.
 """
 
 import os
@@ -33,6 +37,7 @@ from ..host import (
     StripedVolume,
 )
 from ..host.lifecycle import TimeoutPolicy
+from ..host.queues import INTERFACES, QueueTopology
 from ..sim import Simulator, units
 from ..telemetry import MetricsRegistry, Telemetry
 
@@ -77,11 +82,16 @@ def gray_timeout_policy():
     return TimeoutPolicy(deadline=0.01, backoff_base=1e-3, seed=seed)
 
 
-#: data-target stripe width, mirroring, dedicated-log placement
-_TOPOLOGY = {"data_devices": 1, "dedicated_log": False, "mirror": 1}
+#: data-target stripe width, mirroring, dedicated-log placement, and the
+#: host interface every queue is built through
+_TOPOLOGY = {"data_devices": 1, "dedicated_log": False, "mirror": 1,
+             "interface": "sata", "submission_queues": 2,
+             "queue_depth": None}
 
 
-def set_topology(data_devices=1, dedicated_log=False, mirror=1):
+def set_topology(data_devices=1, dedicated_log=False, mirror=1,
+                 interface="sata", submission_queues=None,
+                 queue_depth=None):
     """Shape every subsequently built world's block topology.
 
     ``data_devices`` > 1 stripes the data target over that many member
@@ -90,8 +100,13 @@ def set_topology(data_devices=1, dedicated_log=False, mirror=1):
     exclusive with striping.  ``dedicated_log`` moves the log of the
     single-drive Couchbase world onto its own device via a placement
     volume (the MySQL/commercial worlds already dedicate a log drive).
-    Width 1, mirror 1, no dedicated log is the calibrated
-    byte-identical path.
+
+    ``interface`` selects the host queue model: ``"sata"`` (the
+    calibrated single 32-slot NCQ) or ``"nvme"`` (``submission_queues``
+    SQ/CQ pairs with the log stream pinned to the last queue).
+    ``queue_depth`` overrides the per-queue slot count.  Width 1,
+    mirror 1, no dedicated log, SATA at the default depth is the
+    calibrated byte-identical path.
     """
     global _TOPOLOGY
     data_devices = int(data_devices)
@@ -102,17 +117,52 @@ def set_topology(data_devices=1, dedicated_log=False, mirror=1):
         raise ValueError("mirror must be >= 1")
     if mirror > 1 and data_devices > 1:
         raise ValueError("mirror and striping are mutually exclusive")
+    if interface not in INTERFACES:
+        raise ValueError("interface must be one of %s" % (INTERFACES,))
+    if submission_queues is None:
+        submission_queues = 2
+    submission_queues = int(submission_queues)
+    if submission_queues < 1:
+        raise ValueError("submission_queues must be >= 1")
+    if queue_depth is not None:
+        queue_depth = int(queue_depth)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
     _TOPOLOGY = {"data_devices": data_devices,
                  "dedicated_log": bool(dedicated_log),
-                 "mirror": mirror}
+                 "mirror": mirror,
+                 "interface": interface,
+                 "submission_queues": submission_queues,
+                 "queue_depth": queue_depth}
 
 
 def topology():
     return dict(_TOPOLOGY)
 
 
+def queue_topology():
+    """The armed :class:`QueueTopology`, or ``None`` on the default.
+
+    Returning ``None`` for plain SATA at the default depth matters: the
+    construction sites then take the exact legacy code path, keeping the
+    calibrated benchmarks byte-identical.  Under NVMe with more than one
+    submission queue the ``log`` stream (WAL/journal writes) pins to the
+    last queue so redo flushes never sit behind data-page traffic.
+    """
+    interface = _TOPOLOGY["interface"]
+    depth = _TOPOLOGY["queue_depth"]
+    if interface == "sata":
+        if depth is None:
+            return None
+        return QueueTopology(interface="sata", queue_depth=depth)
+    queues = _TOPOLOGY["submission_queues"]
+    affinity = {"log": queues - 1} if queues > 1 else None
+    return QueueTopology(interface="nvme", queue_depth=depth,
+                         submission_queues=queues, affinity=affinity)
+
+
 def make_data_target(sim, device_kind, capacity_bytes, width=None,
-                     mirror=None, timeout_policy=None):
+                     mirror=None, timeout_policy=None, queue_model=None):
     """``(target_or_device, member_devices)`` for the data extent.
 
     Width 1 returns the raw device — :class:`FileSystem` wraps it in a
@@ -124,12 +174,15 @@ def make_data_target(sim, device_kind, capacity_bytes, width=None,
     """
     width = _TOPOLOGY["data_devices"] if width is None else width
     mirror = _TOPOLOGY["mirror"] if mirror is None else mirror
+    if queue_model is None:
+        queue_model = queue_topology()
     if mirror > 1:
         members = tuple(
             make_device(sim, device_kind, capacity_bytes=capacity_bytes,
                         name="%s.m%d" % (device_kind, index))
             for index in range(mirror))
-        volume = MirroredVolume(sim, members, timeout_policy=timeout_policy)
+        volume = MirroredVolume(sim, members, timeout_policy=timeout_policy,
+                                queue_model=queue_model)
         return volume, members
     if width <= 1:
         device = make_device(sim, device_kind, capacity_bytes=capacity_bytes)
@@ -139,7 +192,8 @@ def make_data_target(sim, device_kind, capacity_bytes, width=None,
         make_device(sim, device_kind, capacity_bytes=member_bytes,
                     name="%s.d%d" % (device_kind, index))
         for index in range(width))
-    volume = StripedVolume(sim, members, timeout_policy=timeout_policy)
+    volume = StripedVolume(sim, members, timeout_policy=timeout_policy,
+                           queue_model=queue_model)
     return volume, members
 
 
@@ -246,10 +300,11 @@ def mysql_setup(sim, page_size, barriers, doublewrite, buffer_gb=10,
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4),
                              name="%s.log" % device_kind)
+    model = queue_topology()
     data_fs = FileSystem(sim, data_target, barriers=barriers,
-                         timeout_policy=policy)
+                         timeout_policy=policy, queue_model=model)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
-                        timeout_policy=policy)
+                        timeout_policy=policy, queue_model=model)
     config = InnoDBConfig(page_size=page_size,
                           buffer_pool_bytes=scaled(buffer_gb),
                           doublewrite=doublewrite, **config_overrides)
@@ -267,10 +322,13 @@ def commercial_setup(sim, page_size, barriers, buffer_gb=2,
     log_device = make_device(sim, device_kind,
                              capacity_bytes=max(units.GIB, db_bytes // 4),
                              name="%s.log" % device_kind)
+    model = queue_topology()
     data_fs = FileSystem(sim, data_target, barriers=barriers,
-                         coalesce_barriers=True, timeout_policy=policy)
+                         coalesce_barriers=True, timeout_policy=policy,
+                         queue_model=model)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
-                        coalesce_barriers=True, timeout_policy=policy)
+                        coalesce_barriers=True, timeout_policy=policy,
+                        queue_model=model)
     config = CommercialConfig(page_size=page_size,
                               buffer_pool_bytes=scaled(buffer_gb),
                               **config_overrides)
@@ -287,23 +345,26 @@ def couchbase_setup(sim, batch_size, barriers, device_kind="durassd",
     default topology is the paper's single drive.
     """
     policy = gray_timeout_policy()
+    model = queue_topology()
     data_target, devices = make_data_target(sim, device_kind,
                                             2 * units.GIB,
                                             timeout_policy=policy)
     if _TOPOLOGY["dedicated_log"]:
         if not hasattr(data_target, "flush"):  # raw device at width 1
             data_target = SingleDevice(sim, data_target,
-                                       timeout_policy=policy)
+                                       timeout_policy=policy,
+                                       queue_model=model)
         log_device = make_device(sim, device_kind,
                                  capacity_bytes=units.GIB,
                                  name="%s.log" % device_kind)
         devices = devices + (log_device,)
         data_target = PlacementVolume({
             "data": data_target,
-            "log": SingleDevice(sim, log_device, timeout_policy=policy),
+            "log": SingleDevice(sim, log_device, timeout_policy=policy,
+                                queue_model=model),
         })
     filesystem = FileSystem(sim, data_target, barriers=barriers,
-                            timeout_policy=policy)
+                            timeout_policy=policy, queue_model=model)
     config = CouchstoreConfig(batch_size=batch_size, **config_overrides)
     engine = CouchstoreEngine(sim, filesystem, config)
     return engine, devices

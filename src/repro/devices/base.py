@@ -48,9 +48,10 @@ class IORequest:
     """One host command: an LBA range plus per-block payload."""
 
     __slots__ = ("op", "lba", "nblocks", "payload", "result",
-                 "submit_time", "complete_time", "tag")
+                 "submit_time", "complete_time", "tag", "stream")
 
-    def __init__(self, op, lba, nblocks=1, payload=None, tag=None):
+    def __init__(self, op, lba, nblocks=1, payload=None, tag=None,
+                 stream=None):
         if op not in (READ, WRITE):
             raise ValueError("op must be 'read' or 'write': %r" % op)
         if lba < 0 or nblocks < 1:
@@ -69,6 +70,12 @@ class IORequest:
         self.submit_time = None
         self.complete_time = None
         self.tag = tag
+        #: routing hint for multi-queue models: the I/O stream this
+        #: command belongs to (the file system stamps its file's
+        #: placement class, e.g. "log" for WAL/journal traffic).  A
+        #: queue model with an affinity for the stream pins the command
+        #: to that submission queue; single-queue models ignore it.
+        self.stream = stream
 
     @property
     def nbytes(self):

@@ -83,7 +83,8 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                    timeout_policy=None, admission_control=True,
                    horizon=None, stripe=1, corruption=None, mirror=1,
                    checksums=None, scrub=None, death=None,
-                   death_target="data", spares=0, rebuild_pace=None):
+                   death_target="data", spares=0, rebuild_pace=None,
+                   interface="sata", submission_queues=2):
     """A fully seeded chaos world description (a gray
     :class:`~repro.failures.torture.TortureScenario`).
 
@@ -145,7 +146,9 @@ def chaos_scenario(device="durassd", profile="mild", seed=0, ops=120,
                            stripe=stripe, corruption=corruption,
                            mirror=mirror, checksums=checksums, scrub=scrub,
                            death=death, death_target=death_target,
-                           spares=spares, rebuild_pace=rebuild_pace)
+                           spares=spares, rebuild_pace=rebuild_pace,
+                           interface=interface,
+                           submission_queues=submission_queues)
 
 
 class ChaosResult:

@@ -51,6 +51,7 @@ from ..host import (
 )
 from ..host.integrity import CorruptDataError
 from ..host.lifecycle import TimeoutPolicy
+from ..host.queues import INTERFACES, QueueTopology
 from ..sim import Simulator, units
 from ..sim.rng import make_rng
 from ..workloads.linkbench import (
@@ -102,7 +103,8 @@ class TortureScenario:
                  gray_target="both", admission_control=False, stripe=1,
                  corruption=None, corruption_target="data", mirror=1,
                  checksums=False, scrub=False, death=None,
-                 death_target="data", spares=0, rebuild_pace=None):
+                 death_target="data", spares=0, rebuild_pace=None,
+                 interface="sata", submission_queues=2):
         if engine not in _ENGINES:
             raise ValueError("unknown engine: %r" % engine)
         if device not in _DEVICE_MAKERS:
@@ -204,6 +206,16 @@ class TortureScenario:
         if rebuild_pace is not None and rebuild_pace <= 0:
             raise ValueError("rebuild_pace must be > 0")
         self.rebuild_pace = rebuild_pace
+        # Host queue model (repro.host.queues): the default SATA NCQ
+        # builds byte-identical classic worlds; "nvme" runs every
+        # queue-owning target behind a multi-queue model instead.
+        if interface not in INTERFACES:
+            raise ValueError("interface must be one of %s" % (INTERFACES,))
+        self.interface = interface
+        submission_queues = int(submission_queues)
+        if submission_queues < 1:
+            raise ValueError("submission_queues must be >= 1")
+        self.submission_queues = submission_queues
 
     @property
     def integrity_armed(self):
@@ -242,6 +254,8 @@ class TortureScenario:
             "death_target": self.death_target,
             "spares": self.spares,
             "rebuild_pace": self.rebuild_pace,
+            "interface": self.interface,
+            "submission_queues": self.submission_queues,
         }
 
     @classmethod
@@ -363,33 +377,48 @@ def build_world(scenario, telemetry=None):
     all_durable = all(device.claims_durable_cache for device in devices)
     barriers = (not all_durable) if scenario.barriers is None \
         else scenario.barriers
+    # None = the legacy SATA construction path, byte-identical to every
+    # committed torture artifact; the NVMe topology routes the log
+    # stream to its last submission queue like the bench worlds do.
+    queue_model = None
+    if scenario.interface == "nvme":
+        queues = scenario.submission_queues
+        queue_model = QueueTopology(
+            interface="nvme", submission_queues=queues,
+            affinity={"log": queues - 1} if queues > 1 else None)
     volume = None
     if scenario.stripe > 1:
         data_target = StripedVolume(sim, data_devices,
-                                    timeout_policy=scenario.timeout_policy)
+                                    timeout_policy=scenario.timeout_policy,
+                                    queue_model=queue_model)
     elif scenario.mirror > 1:
         volume = MirroredVolume(sim, data_devices,
-                                timeout_policy=scenario.timeout_policy)
+                                timeout_policy=scenario.timeout_policy,
+                                queue_model=queue_model)
         data_target = volume
     else:
         data_target = data_devices[0]
     if scenario.checksums and scenario.mirror <= 1:
         # Unreplicated defense: fingerprint writes, fail-stop bad reads.
         data_target = VerifyingTarget(as_target(
-            sim, data_target, timeout_policy=scenario.timeout_policy))
+            sim, data_target, timeout_policy=scenario.timeout_policy,
+            queue_model=queue_model))
     defended_target = data_target
     audit = None
     if scenario.corruption is not None:
         # Harness-side oracle OUTSIDE any defense: a corrupt value that
         # makes it past this point was served to the host undetected.
         audit = VerifyingTarget(as_target(
-            sim, data_target, timeout_policy=scenario.timeout_policy),
+            sim, data_target, timeout_policy=scenario.timeout_policy,
+            queue_model=queue_model),
             fail_stop=False)
         data_target = audit
     data_fs = FileSystem(sim, data_target, barriers=barriers,
-                         timeout_policy=scenario.timeout_policy)
+                         timeout_policy=scenario.timeout_policy,
+                         queue_model=queue_model)
     log_fs = FileSystem(sim, log_device, barriers=barriers,
-                        timeout_policy=scenario.timeout_policy)
+                        timeout_policy=scenario.timeout_policy,
+                        queue_model=queue_model)
     # Keep the WAL ring well inside the shrunken log device.
     log_ring = min(192 * units.MIB, log_capacity // 4)
     if scenario.engine == "commercial":

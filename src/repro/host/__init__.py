@@ -17,6 +17,13 @@ from .lifecycle import (
     TimeoutPolicy,
 )
 from .ncq import CommandQueue
+from .queues import (
+    DEFAULT_QUEUE_DEPTH,
+    NvmeMultiQueue,
+    QueueModel,
+    QueueTopology,
+    SataNcq,
+)
 from .trace import IOTracer, render_latency_histogram
 from .volume import (
     BlockTarget,
@@ -36,8 +43,13 @@ __all__ = [
     "CommandLifecycle",
     "CommandQueue",
     "CorruptDataError",
+    "DEFAULT_QUEUE_DEPTH",
     "DetectedDataLossError",
     "DeviceTimeoutError",
+    "NvmeMultiQueue",
+    "QueueModel",
+    "QueueTopology",
+    "SataNcq",
     "Rebuilder",
     "STORAGE_ERRORS",
     "FSYNC_SYSCALL_TIME",

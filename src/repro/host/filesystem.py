@@ -33,12 +33,17 @@ FSYNC_SYSCALL_TIME = 5 * units.USEC
 class FileHandle:
     """An open file: a contiguous LBA extent plus dirty-metadata state."""
 
-    def __init__(self, filesystem, name, base_lba, nblocks, o_dsync=False):
+    def __init__(self, filesystem, name, base_lba, nblocks, o_dsync=False,
+                 placement="data"):
         self.filesystem = filesystem
         self.name = name
         self.base_lba = base_lba
         self.nblocks = nblocks
         self.o_dsync = o_dsync
+        #: the extent class the file was created in; stamped onto every
+        #: I/O as its ``stream`` so multi-queue models can pin a class
+        #: (the WAL) to its own submission queue.
+        self.placement = placement
         self.metadata_dirty = False
         self.size_blocks = 0  # logical EOF for append-style users
 
@@ -89,6 +94,10 @@ class FileView:
         return self._handle.capacity_bytes
 
     @property
+    def placement(self):
+        return self._handle.placement
+
+    @property
     def size_blocks(self):
         return self._handle.size_blocks
 
@@ -114,13 +123,14 @@ class FileSystem:
     #: LBAs reserved at the end of the log region for the journal.
     JOURNAL_BLOCKS = 64
 
-    def __init__(self, sim, device, barriers=True, queue_depth=32,
+    def __init__(self, sim, device, barriers=True, queue_depth=None,
                  ordered_queue=True, coalesce_barriers=False, rng=None,
-                 timeout_policy=None):
+                 timeout_policy=None, queue_model=None):
         self.sim = sim
         self.target = as_target(sim, device, queue_depth=queue_depth,
                                 ordered_queue=ordered_queue, rng=rng,
-                                timeout_policy=timeout_policy)
+                                timeout_policy=timeout_policy,
+                                queue_model=queue_model)
         self.barriers = barriers
         # jbd2-style merging of concurrent flush requests.  ext4 (the
         # commercial-DBMS configuration, Section 4.2) batches aggressively;
@@ -158,10 +168,10 @@ class FileSystem:
         return self.target.queues[0]
 
     def lifecycle_counters(self):
-        """Lifecycle counters summed over every member queue."""
+        """Lifecycle counters summed over every member queue model."""
         totals = {}
         for queue in self.target.queues:
-            for key, value in queue.lifecycle.counters.items():
+            for key, value in queue.lifecycle_counters().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 
@@ -186,7 +196,8 @@ class FileSystem:
         if cursor + nblocks > limit:
             raise ValueError("file system full: %r needs %d blocks"
                              % (name, nblocks))
-        handle = FileHandle(self, name, cursor, nblocks, o_dsync=o_dsync)
+        handle = FileHandle(self, name, cursor, nblocks, o_dsync=o_dsync,
+                            placement=placement)
         self._region_cursors[key] = cursor + nblocks
         self._files[name] = handle
         handle.metadata_dirty = True  # creation dirties the inode
@@ -214,7 +225,8 @@ class FileSystem:
             raise ValueError("write past end of %r" % handle.name)
         with self.sim.telemetry.span("fs.pwrite", "host", file=handle.name,
                                      lba=lba, nblocks=nblocks):
-            request = IORequest(WRITE, lba, nblocks, payload=list(values))
+            request = IORequest(WRITE, lba, nblocks, payload=list(values),
+                                stream=handle.placement)
             completed = yield self.target.submit(request)
             self.counters["data_writes"] += 1
             end_block = offset_bytes // units.LBA_SIZE + nblocks
@@ -232,7 +244,8 @@ class FileSystem:
             raise ValueError("read past end of %r" % handle.name)
         with self.sim.telemetry.span("fs.pread", "host", file=handle.name,
                                      lba=lba, nblocks=nblocks):
-            request = IORequest(READ, lba, nblocks)
+            request = IORequest(READ, lba, nblocks,
+                                stream=handle.placement)
             completed = yield self.target.submit(request)
             self.counters["data_reads"] += 1
         return completed.result
@@ -274,7 +287,8 @@ class FileSystem:
                 % self.JOURNAL_BLOCKS
             self._journal_sequence += 1
             token = ("journal", handle.name, self._journal_sequence)
-            request = IORequest(WRITE, lba, 1, payload=[token])
+            request = IORequest(WRITE, lba, 1, payload=[token],
+                                stream="log")
             yield self.target.submit(request)
             self.counters["journal_commits"] += 1
 

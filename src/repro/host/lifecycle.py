@@ -106,31 +106,42 @@ class CommandLifecycle:
     COUNTER_KEYS = ("timeouts", "aborts", "resets", "retries",
                     "escalations", "swept", "hard_errors")
 
-    def __init__(self, sim, device, policy=None):
+    def __init__(self, sim, device, policy=None, queue=None):
         self.sim = sim
         self.device = device
         self.policy = policy
-        self._rng = make_rng(("lifecycle", policy.seed if policy else 0,
-                              device.name))
+        #: submission-queue index when this lifecycle serves one SQ of a
+        #: multi-queue model (None on the single-queue SATA path).  Each
+        #: SQ then owns its own deadline clocks, retry ladder, counters
+        #: and jitter stream, and its telemetry carries a queue attr.
+        self.queue = queue
+        seed_key = ("lifecycle", policy.seed if policy else 0, device.name)
+        label = {"device": device.name}
+        if queue is not None:
+            seed_key = seed_key + (queue,)
+            label["queue"] = str(queue)
+        self._rng = make_rng(seed_key)
         self.counters = dict.fromkeys(self.COUNTER_KEYS, 0)
         metrics = sim.telemetry.metrics
         for key in self.COUNTER_KEYS:
             metrics.counter("host.%s" % key,
                             fn=lambda key=key: self.counters[key],
-                            device=device.name)
+                            **label)
         metrics.gauge("host.inflight_age", fn=device.oldest_inflight_age,
-                      device=device.name)
-        self._latency = metrics.histogram("host.cmd_latency",
-                                          device=device.name)
+                      **label)
+        self._latency = metrics.histogram("host.cmd_latency", **label)
         if policy is not None:
             telemetry = sim.telemetry
+            probe_attrs = dict(device=device.name)
+            if queue is not None:
+                probe_attrs["queue"] = queue
             for key in self.COUNTER_KEYS:
                 telemetry.add_probe("host.%s" % key,
                                     lambda key=key: self.counters[key],
-                                    "host", device=device.name)
+                                    "host", **probe_attrs)
             telemetry.add_probe("host.inflight_age_max",
                                 device.oldest_inflight_age, "host",
-                                device=device.name)
+                                **probe_attrs)
 
     def execute(self, request):
         """Run one I/O command through the full lifecycle (generator)."""

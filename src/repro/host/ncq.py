@@ -1,77 +1,14 @@
-"""SATA Native Command Queuing.
+"""SATA Native Command Queuing — compatibility name.
 
-NCQ lets the host keep up to 32 commands outstanding so the device can
-fill its internal pipelines (Section 3.1.1).  The paper's DuraSSD
-firmware implements an *ordered* NCQ so that persistence order matches
-arrival order even though flush-cache barriers are never issued
-(Section 3.3); a conventional queue is free to reorder.
-
-We model the queue-depth limit and, for the unordered variant, a bounded
-dispatch-reordering window, which is what produces unserializable write
-orderings on volatile devices after a power cut.
+The queue implementation moved to :mod:`repro.host.queues` when the
+host grew a pluggable :class:`~repro.host.queues.QueueModel` interface
+(SATA NCQ vs NVMe multi-queue).  ``CommandQueue`` remains the
+historical name for the SATA model; existing imports keep working and
+the behavior is byte-identical.
 """
 
-from ..sim.resources import Resource
-from .lifecycle import CommandLifecycle
+from .queues import SataNcq
 
+CommandQueue = SataNcq
 
-class CommandQueue:
-    """Depth-limited command queue in front of a storage device."""
-
-    DEPTH = 32
-
-    def __init__(self, sim, device, depth=DEPTH, ordered=True,
-                 reorder_window=8, rng=None, timeout_policy=None):
-        if depth < 1:
-            raise ValueError("queue depth must be >= 1")
-        self.sim = sim
-        self.device = device
-        self.depth = depth
-        self.ordered = ordered
-        self.reorder_window = reorder_window
-        self._rng = rng
-        self._slots = Resource(sim, capacity=depth)
-        self._backlog = []
-        self.max_observed_depth = 0
-        self.lifecycle = CommandLifecycle(sim, device, timeout_policy)
-        sim.telemetry.add_probe("ncq.depth",
-                                lambda: self._slots.in_use, "host",
-                                device=device.name)
-        sim.telemetry.metrics.gauge("host.ncq_depth",
-                                    fn=lambda: self._slots.in_use,
-                                    device=device.name)
-
-    @property
-    def outstanding(self):
-        return self._slots.in_use
-
-    def submit(self, request):
-        """Queue a request; returns its completion event."""
-        return self.sim.process(self._dispatch(request))
-
-    def _dispatch(self, request):
-        with self.sim.telemetry.span("ncq.slot", "host", op=request.op,
-                                     lba=request.lba,
-                                     device=self.device.name) as span:
-            if not self.ordered and self._rng is not None \
-                    and self.reorder_window > 1:
-                # An unordered queue may sit on a command briefly while
-                # later arrivals overtake it.
-                jitter = self._rng.random() * self.device.command_overhead \
-                    * self.reorder_window
-                yield self.sim.timeout(jitter)
-            yield from self._slots.acquire_guarded()
-            self.max_observed_depth = max(self.max_observed_depth,
-                                          self._slots.in_use)
-            span.annotate(depth=self._slots.in_use)
-            try:
-                completed = yield from self.lifecycle.execute(request)
-            finally:
-                self._slots.release()
-        return completed
-
-    def flush(self):
-        """Pass the flush-cache command through to the device."""
-        if self.lifecycle.policy is None:
-            return self.device.flush_cache()
-        return self.sim.process(self.lifecycle.execute_flush())
+__all__ = ["CommandQueue"]

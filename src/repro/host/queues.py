@@ -1,0 +1,393 @@
+"""Pluggable host queue models: SATA NCQ and NVMe multi-queue.
+
+Everything above the device — :class:`~repro.host.volume.BlockTarget`
+implementations, :class:`~repro.host.filesystem.FileSystem` — programs
+against the :class:`QueueModel` protocol instead of one hardwired queue
+class.  Two implementations ship:
+
+* :class:`SataNcq` — the paper's host interface: one depth-limited
+  queue per device (Section 3.1.1).  The DuraSSD firmware implements an
+  *ordered* NCQ so persistence order matches arrival order even though
+  flush-cache barriers are never issued (Section 3.3); a conventional
+  queue is free to reorder within a bounded dispatch window, which is
+  what produces unserializable write orderings on volatile devices
+  after a power cut.  This path is byte-identical to the historical
+  ``CommandQueue``.
+* :class:`NvmeMultiQueue` — N submission/completion queue pairs with
+  per-queue depth, round-robin or weighted arbitration, per-queue
+  command lifecycles, and queue-affinity routing (a request tagged with
+  ``stream="log"`` can pin to its own SQ, so WAL traffic never queues
+  behind data writes).  Commands within one SQ dispatch in submission
+  order; across SQs the controller's arbitration fetch offset reorders
+  freely — per-queue ordering holds, cross-queue ordering does not,
+  exactly the NVMe contract.
+
+:class:`QueueTopology` is the declarative factory the bench/chaos
+layers carry around: it describes *which* model to build per device
+(``--interface sata|nvme``, ``--sq N``, ``--queue-depth D``) and is the
+single owner of the queue-depth default.
+"""
+
+from ..sim.resources import Resource
+from .lifecycle import CommandLifecycle
+
+#: the one authoritative host queue-depth default (per queue).
+DEFAULT_QUEUE_DEPTH = 32
+
+#: arbitration fetch offset between adjacent submission queues, as a
+#: fraction of the device command overhead: the controller visits SQs
+#: in index order each arbitration round, so a command in a
+#: higher-numbered queue waits proportionally longer to be fetched.
+ARBITRATION_SKEW = 0.5
+
+#: supported host interfaces.
+INTERFACES = ("sata", "nvme")
+
+#: supported NVMe arbitration policies.
+ARBITRATIONS = ("round-robin", "weighted")
+
+
+class QueueModel:
+    """Protocol for a host-side command queue in front of one device.
+
+    Implementations own slot accounting, dispatch ordering, and the
+    command lifecycle (deadline/abort/soft-reset/retry), and expose:
+
+    * ``submit(request)`` — queue a request; returns its completion
+      event.
+    * ``flush()`` — issue flush-cache; returns its completion event.
+    * ``outstanding`` — commands currently holding a slot, summed over
+      every submission queue.
+    * ``depth`` — total slot capacity across submission queues.
+    * ``lifecycle_counters()`` — timeout/abort/reset/retry totals
+      summed over every per-queue lifecycle.
+    * ``device`` / ``interface`` — the device served and the interface
+      name (``"sata"`` / ``"nvme"``).
+    """
+
+    interface = None
+
+    def submit(self, request):
+        """Queue a request; returns its completion event."""
+        raise NotImplementedError
+
+    def flush(self):
+        """Issue the flush-cache command; returns its completion event."""
+        raise NotImplementedError
+
+    @property
+    def outstanding(self):
+        """Commands currently holding a slot (all queues)."""
+        raise NotImplementedError
+
+    def lifecycle_counters(self):
+        """Lifecycle counters summed over every submission queue."""
+        raise NotImplementedError
+
+
+class SataNcq(QueueModel):
+    """Depth-limited SATA command queue in front of a storage device.
+
+    NCQ lets the host keep up to 32 commands outstanding so the device
+    can fill its internal pipelines.  ``ordered=True`` models the
+    DuraSSD firmware's ordered NCQ; ``ordered=False`` adds a bounded
+    dispatch-reordering window (``reorder_window`` command overheads of
+    seeded jitter) under which later arrivals may overtake.
+    """
+
+    interface = "sata"
+
+    DEPTH = DEFAULT_QUEUE_DEPTH
+
+    def __init__(self, sim, device, depth=None, ordered=True,
+                 reorder_window=8, rng=None, timeout_policy=None):
+        depth = DEFAULT_QUEUE_DEPTH if depth is None else depth
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.sim = sim
+        self.device = device
+        self.depth = depth
+        self.ordered = ordered
+        self.reorder_window = reorder_window
+        self._rng = rng
+        self._slots = Resource(sim, capacity=depth)
+        self._backlog = []
+        self.max_observed_depth = 0
+        self.lifecycle = CommandLifecycle(sim, device, timeout_policy)
+        sim.telemetry.add_probe("ncq.depth",
+                                lambda: self._slots.in_use, "host",
+                                device=device.name)
+        sim.telemetry.metrics.gauge("host.ncq_depth",
+                                    fn=lambda: self._slots.in_use,
+                                    device=device.name)
+
+    @property
+    def outstanding(self):
+        return self._slots.in_use
+
+    def lifecycle_counters(self):
+        return dict(self.lifecycle.counters)
+
+    def submit(self, request):
+        """Queue a request; returns its completion event."""
+        return self.sim.process(self._dispatch(request))
+
+    def _dispatch(self, request):
+        with self.sim.telemetry.span("ncq.slot", "host", op=request.op,
+                                     lba=request.lba,
+                                     device=self.device.name) as span:
+            if not self.ordered and self._rng is not None \
+                    and self.reorder_window > 1:
+                # An unordered queue may sit on a command briefly while
+                # later arrivals overtake it.
+                jitter = self._rng.random() * self.device.command_overhead \
+                    * self.reorder_window
+                yield self.sim.timeout(jitter)
+            yield from self._slots.acquire_guarded()
+            self.max_observed_depth = max(self.max_observed_depth,
+                                          self._slots.in_use)
+            span.annotate(depth=self._slots.in_use)
+            try:
+                completed = yield from self.lifecycle.execute(request)
+            finally:
+                self._slots.release()
+        return completed
+
+    def flush(self):
+        """Pass the flush-cache command through to the device."""
+        if self.lifecycle.policy is None:
+            return self.device.flush_cache()
+        return self.sim.process(self.lifecycle.execute_flush())
+
+
+class NvmeMultiQueue(QueueModel):
+    """N submission/completion queue pairs in front of one device.
+
+    Each SQ has its own ``depth`` slots and its own
+    :class:`~repro.host.lifecycle.CommandLifecycle` (a deadline expiry
+    on one queue aborts/resets without involving its siblings' retry
+    state).  Routing:
+
+    * a request whose ``stream`` appears in ``affinity`` pins to that
+      SQ (``affinity={"log": 3}`` gives the WAL its own queue);
+    * everything else is spread over the non-reserved queues by the
+      arbitration policy — ``"round-robin"`` cycles them evenly,
+      ``"weighted"`` cycles a schedule where queue ``i`` appears
+      ``weights[i]`` times per round.
+
+    Ordering: within one SQ commands dispatch strictly in submission
+    order (FIFO slot acquisition, no jitter).  Across SQs the
+    controller's arbitration fetch offset — queue ``i`` waits
+    ``i * ARBITRATION_SKEW`` command overheads before entering the
+    device — lets a later command on a lower queue overtake, so
+    cross-queue ordering is *not* preserved (the NVMe contract; on a
+    volatile-cache device this is observable after a power cut).
+
+    Telemetry: per-queue ``queue.depth`` probes and ``host.queue_depth``
+    gauges carry ``device=<name> queue=<i>`` attrs, and every dispatch
+    span (``queue.slot``) is annotated with its queue index so the tail
+    attributor's ``ncq_queue`` blame decomposes per submission queue.
+    """
+
+    interface = "nvme"
+
+    def __init__(self, sim, device, queues=2, depth=None,
+                 arbitration="round-robin", weights=None, rng=None,
+                 timeout_policy=None, affinity=None):
+        depth = DEFAULT_QUEUE_DEPTH if depth is None else depth
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if queues < 1:
+            raise ValueError("an NVMe model needs at least one queue pair")
+        if arbitration not in ARBITRATIONS:
+            raise ValueError("unknown arbitration %r (want one of %s)"
+                             % (arbitration, ", ".join(ARBITRATIONS)))
+        self.sim = sim
+        self.device = device
+        self.queues = queues
+        self.queue_depth = depth
+        self.depth = depth * queues
+        self.arbitration = arbitration
+        self.affinity = dict(affinity) if affinity else {}
+        for stream, index in self.affinity.items():
+            if not 0 <= index < queues:
+                raise ValueError("affinity %r -> SQ %d outside 0..%d"
+                                 % (stream, index, queues - 1))
+        self._rng = rng
+        self._slots = tuple(Resource(sim, capacity=depth)
+                            for _ in range(queues))
+        self.lifecycles = tuple(
+            CommandLifecycle(sim, device, timeout_policy, queue=index)
+            for index in range(queues))
+        self.max_observed_depth = 0
+        self.per_queue_max = [0] * queues
+        # Arbitration schedule over the queues not reserved by affinity
+        # (all queues when affinity would leave none for general traffic).
+        reserved = set(self.affinity.values())
+        general = [index for index in range(queues)
+                   if index not in reserved] or list(range(queues))
+        if arbitration == "weighted":
+            if weights is None:
+                weights = (1,) * queues
+            if len(weights) != queues or any(w < 1 for w in weights):
+                raise ValueError("weights must give every queue a "
+                                 "positive share")
+            self._schedule = [index for index in general
+                              for _ in range(weights[index])]
+        else:
+            if weights is not None:
+                raise ValueError("weights require weighted arbitration")
+            self._schedule = list(general)
+        self.weights = tuple(weights) if weights is not None else None
+        self._cursor = 0
+        #: controller fetch offset per queue (see class docstring)
+        self._skew = tuple(index * ARBITRATION_SKEW
+                           * device.command_overhead
+                           for index in range(queues))
+        telemetry = sim.telemetry
+        for index in range(queues):
+            telemetry.add_probe(
+                "queue.depth",
+                lambda index=index: self._slots[index].in_use, "host",
+                device=device.name, queue=index)
+            telemetry.metrics.gauge(
+                "host.queue_depth",
+                fn=lambda index=index: self._slots[index].in_use,
+                device=device.name, queue=str(index))
+
+    @property
+    def outstanding(self):
+        return sum(slots.in_use for slots in self._slots)
+
+    def queue_outstanding(self, index):
+        """Commands currently holding a slot on SQ ``index``."""
+        return self._slots[index].in_use
+
+    def lifecycle_counters(self):
+        totals = {}
+        for lifecycle in self.lifecycles:
+            for key, value in lifecycle.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def route(self, request):
+        """The SQ index ``request`` would dispatch on (affinity first,
+        else the arbitration schedule — which this call advances)."""
+        stream = getattr(request, "stream", None)
+        if stream is not None and stream in self.affinity:
+            return self.affinity[stream]
+        index = self._schedule[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._schedule)
+        return index
+
+    def submit(self, request):
+        """Queue a request; returns its completion event."""
+        return self.sim.process(self._dispatch(self.route(request), request))
+
+    def _dispatch(self, index, request):
+        with self.sim.telemetry.span("queue.slot", "host", op=request.op,
+                                     lba=request.lba,
+                                     device=self.device.name,
+                                     queue=index) as span:
+            if self._skew[index]:
+                # Arbitration fetch offset: higher-numbered queues are
+                # visited later in the controller's round.
+                yield self.sim.timeout(self._skew[index])
+            slots = self._slots[index]
+            yield from slots.acquire_guarded()
+            self.per_queue_max[index] = max(self.per_queue_max[index],
+                                            slots.in_use)
+            self.max_observed_depth = max(self.max_observed_depth,
+                                          slots.in_use)
+            span.annotate(depth=slots.in_use)
+            try:
+                completed = yield from self.lifecycles[index].execute(
+                    request)
+            finally:
+                slots.release()
+        return completed
+
+    def flush(self):
+        """Flush-cache, issued on SQ 0 (the convention real drivers use
+        for admin-ish commands); covers writes from every queue because
+        the device's cache is shared."""
+        admin = self.lifecycles[0]
+        if admin.policy is None:
+            return self.device.flush_cache()
+        return self.sim.process(admin.execute_flush())
+
+
+class QueueTopology:
+    """Declarative queue-model factory: which model, how deep, how many.
+
+    The bench and failure layers pass one of these around instead of
+    constructing queues directly; every device of a topology gets
+    ``build(sim, device, ...)`` called on it.  ``queue_depth=None``
+    means :data:`DEFAULT_QUEUE_DEPTH` — the single authoritative
+    default.
+    """
+
+    def __init__(self, interface="sata", queue_depth=None,
+                 submission_queues=2, arbitration="round-robin",
+                 weights=None, ordered=True, reorder_window=8,
+                 affinity=None):
+        if interface not in INTERFACES:
+            raise ValueError("unknown interface %r (want one of %s)"
+                             % (interface, ", ".join(INTERFACES)))
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        if submission_queues < 1:
+            raise ValueError("submission_queues must be >= 1")
+        self.interface = interface
+        self.queue_depth = queue_depth
+        self.submission_queues = submission_queues
+        self.arbitration = arbitration
+        self.weights = tuple(weights) if weights is not None else None
+        self.ordered = ordered
+        self.reorder_window = reorder_window
+        self.affinity = dict(affinity) if affinity else None
+
+    def build(self, sim, device, rng=None, timeout_policy=None):
+        """A fresh :class:`QueueModel` for ``device``."""
+        if self.interface == "sata":
+            return SataNcq(sim, device, depth=self.queue_depth,
+                           ordered=self.ordered,
+                           reorder_window=self.reorder_window, rng=rng,
+                           timeout_policy=timeout_policy)
+        return NvmeMultiQueue(sim, device, queues=self.submission_queues,
+                              depth=self.queue_depth,
+                              arbitration=self.arbitration,
+                              weights=self.weights, rng=rng,
+                              timeout_policy=timeout_policy,
+                              affinity=self.affinity)
+
+    def to_json(self):
+        return {
+            "interface": self.interface,
+            "queue_depth": self.queue_depth,
+            "submission_queues": self.submission_queues,
+            "arbitration": self.arbitration,
+            "weights": list(self.weights) if self.weights else None,
+            "ordered": self.ordered,
+            "reorder_window": self.reorder_window,
+            "affinity": dict(self.affinity) if self.affinity else None,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        return cls(**data)
+
+
+def resolve_queue_model(queue_model, queue_depth=None, ordered_queue=True,
+                        reorder_window=8):
+    """The topology construction sites build queues from.
+
+    ``queue_model`` (a :class:`QueueTopology`) wins when given; the
+    legacy per-site kwargs otherwise describe the historical SATA
+    queue, so callers that never heard of queue models keep their exact
+    behavior.
+    """
+    if queue_model is not None:
+        return queue_model
+    return QueueTopology(queue_depth=queue_depth, ordered=ordered_queue,
+                         reorder_window=reorder_window)

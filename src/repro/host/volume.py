@@ -8,7 +8,7 @@ checkers use.  Three implementations:
 
 * :class:`SingleDevice` — a zero-overhead adapter over one
   :class:`~repro.devices.base.StorageDevice`.  Every call is a direct
-  pass-through to one :class:`~repro.host.ncq.CommandQueue`, so the
+  pass-through to one :class:`~repro.host.queues.QueueModel`, so the
   calibrated single-drive benchmarks are byte-identical to a file
   system built straight on the device.
 * :class:`StripedVolume` — RAID-0 over N devices.  LBAs are split into
@@ -37,7 +37,7 @@ from .integrity import (
     register_integrity_metrics,
 )
 from .lifecycle import DeviceTimeoutError
-from .ncq import CommandQueue
+from .queues import resolve_queue_model
 
 #: a mirror member is declared dead on either hard failure mode: the
 #: device reported itself gone, or the lifecycle's retry ladder gave up
@@ -79,7 +79,8 @@ class BlockTarget:
 
     @property
     def queues(self):
-        """One :class:`CommandQueue` per member, same order."""
+        """One :class:`~repro.host.queues.QueueModel` per member, same
+        order."""
         raise NotImplementedError
 
     def submit(self, request):
@@ -115,18 +116,21 @@ class BlockTarget:
         device.install_persistent(device_lba, value)
 
 
-def as_target(sim, device_or_target, queue_depth=32, ordered_queue=True,
-              rng=None, timeout_policy=None):
+def as_target(sim, device_or_target, queue_depth=None, ordered_queue=True,
+              rng=None, timeout_policy=None, queue_model=None):
     """Adapt a raw device to a :class:`SingleDevice`; pass targets through.
 
     The queue knobs only apply when wrapping a raw device — an existing
-    target already owns its queues.
+    target already owns its queues.  ``queue_model`` (a
+    :class:`~repro.host.queues.QueueTopology`) selects the host
+    interface; the legacy kwargs describe the historical SATA queue.
     """
     if isinstance(device_or_target, BlockTarget):
         return device_or_target
     return SingleDevice(sim, device_or_target, queue_depth=queue_depth,
                         ordered_queue=ordered_queue, rng=rng,
-                        timeout_policy=timeout_policy)
+                        timeout_policy=timeout_policy,
+                        queue_model=queue_model)
 
 
 class SingleDevice(BlockTarget):
@@ -137,14 +141,15 @@ class SingleDevice(BlockTarget):
     byte-identical to the historical file system built on ``dev``.
     """
 
-    def __init__(self, sim, device, queue_depth=32, ordered_queue=True,
-                 rng=None, timeout_policy=None):
+    def __init__(self, sim, device, queue_depth=None, ordered_queue=True,
+                 rng=None, timeout_policy=None, queue_model=None):
         self.sim = sim
         self.device = device
         self.name = device.name
-        self.queue = CommandQueue(sim, device, depth=queue_depth,
-                                  ordered=ordered_queue, rng=rng,
-                                  timeout_policy=timeout_policy)
+        model = resolve_queue_model(queue_model, queue_depth,
+                                    ordered_queue)
+        self.queue = model.build(sim, device, rng=rng,
+                                 timeout_policy=timeout_policy)
 
     @property
     def exported_lbas(self):
@@ -204,8 +209,9 @@ class StripedVolume(BlockTarget):
     the completion event fires when every fragment has completed, with
     read fragments reassembled positionally.
 
-    Each member gets its own :class:`CommandQueue` and, when a
-    ``timeout_policy`` is armed, its own
+    Each member gets its own queue model (built from ``queue_model``,
+    a :class:`~repro.host.queues.QueueTopology`, or the legacy SATA
+    kwargs) and, when a ``timeout_policy`` is armed, its own
     :class:`~repro.host.lifecycle.CommandLifecycle` — a deadline expiry
     aborts and soft-resets only the member that stalled.
 
@@ -217,8 +223,9 @@ class StripedVolume(BlockTarget):
     can no longer serve half its stripes.
     """
 
-    def __init__(self, sim, devices, chunk_blocks=8, queue_depth=32,
-                 ordered_queue=True, rng=None, timeout_policy=None):
+    def __init__(self, sim, devices, chunk_blocks=8, queue_depth=None,
+                 ordered_queue=True, rng=None, timeout_policy=None,
+                 queue_model=None):
         if not devices:
             raise ValueError("a striped volume needs at least one device")
         if chunk_blocks < 1:
@@ -230,10 +237,11 @@ class StripedVolume(BlockTarget):
         self.width = len(devices)
         self._devices = tuple(devices)
         self.name = "stripe[%s]" % ",".join(d.name for d in devices)
+        model = resolve_queue_model(queue_model, queue_depth,
+                                    ordered_queue)
         self._queues = tuple(
-            CommandQueue(sim, device, depth=queue_depth,
-                         ordered=ordered_queue, rng=rng,
-                         timeout_policy=timeout_policy)
+            model.build(sim, device, rng=rng,
+                        timeout_policy=timeout_policy)
             for device in devices)
         self._activity = tuple(_MemberActivity() for _ in devices)
         # The exported space is the largest whole number of full stripes
@@ -315,7 +323,8 @@ class StripedVolume(BlockTarget):
                 payload = (list(request.payload[offset:offset + count])
                            if request.op == WRITE else None)
                 part = IORequest(request.op, member_lba, count,
-                                 payload=payload, tag=request.tag)
+                                 payload=payload, tag=request.tag,
+                                 stream=request.stream)
                 if request.op == WRITE:
                     self._activity[member].submitted += 1
                 event = self._queues[member].submit(part)
@@ -389,8 +398,8 @@ class MirroredVolume(BlockTarget):
     the completion event — detected corruption is fail-stop, never a
     wrong answer — and the database's degrade machinery escalates it.
 
-    Each member gets its own :class:`CommandQueue` (and lifecycle, when
-    a ``timeout_policy`` is armed), so a gray or corrupt member never
+    Each member gets its own queue model (and lifecycle, when a
+    ``timeout_policy`` is armed), so a gray or corrupt member never
     blocks its healthy replica.
 
     **Degraded mode.**  A member whose commands fail *hard* — the
@@ -407,22 +416,22 @@ class MirroredVolume(BlockTarget):
     fail-stop, never a hang, never a fabricated answer.
     """
 
-    def __init__(self, sim, devices, checksums=None, queue_depth=32,
-                 ordered_queue=True, rng=None, timeout_policy=None):
+    def __init__(self, sim, devices, checksums=None, queue_depth=None,
+                 ordered_queue=True, rng=None, timeout_policy=None,
+                 queue_model=None):
         if len(devices) < 2:
             raise ValueError("a mirrored volume needs at least two devices")
         self.sim = sim
         self.width = len(devices)
         self._devices = list(devices)
         self.name = "mirror[%s]" % ",".join(d.name for d in devices)
-        self._queue_depth = queue_depth
-        self._ordered_queue = ordered_queue
+        self._queue_model = resolve_queue_model(queue_model, queue_depth,
+                                                ordered_queue)
         self._rng = rng
         self._timeout_policy = timeout_policy
         self._queues = [
-            CommandQueue(sim, device, depth=queue_depth,
-                         ordered=ordered_queue, rng=rng,
-                         timeout_policy=timeout_policy)
+            self._queue_model.build(sim, device, rng=rng,
+                                    timeout_policy=timeout_policy)
             for device in devices]
         self._activity = [_MemberActivity() for _ in devices]
         self._exported = min(d.exported_lbas for d in devices)
@@ -564,7 +573,8 @@ class MirroredVolume(BlockTarget):
             if self._dead[member]:
                 continue
             part = IORequest(WRITE, request.lba, request.nblocks,
-                             payload=list(request.payload), tag=request.tag)
+                             payload=list(request.payload), tag=request.tag,
+                             stream=request.stream)
             self._activity[member].submitted += 1
             event = queue.submit(part)
             event.callbacks.append(_observed)
@@ -616,7 +626,7 @@ class MirroredVolume(BlockTarget):
             yield from self._read_degraded(request)
             return
         part = IORequest(READ, request.lba, request.nblocks,
-                         tag=request.tag)
+                         tag=request.tag, stream=request.stream)
         try:
             yield self._queues[primary].submit(part)
         except _MEMBER_FATAL as error:
@@ -827,9 +837,8 @@ class MirroredVolume(BlockTarget):
             raise ValueError("member %d of %s is not dead"
                              % (member, self.name))
         self._devices[member] = device
-        self._queues[member] = CommandQueue(
-            self.sim, device, depth=self._queue_depth,
-            ordered=self._ordered_queue, rng=self._rng,
+        self._queues[member] = self._queue_model.build(
+            self.sim, device, rng=self._rng,
             timeout_policy=self._timeout_policy)
         self._activity[member] = _MemberActivity()
         self._dead[member] = False
@@ -1203,7 +1212,7 @@ class RegionView(BlockTarget):
         self._check(request.lba, request.nblocks)
         shifted = IORequest(request.op, self.base_lba + request.lba,
                             request.nblocks, payload=request.payload,
-                            tag=request.tag)
+                            tag=request.tag, stream=request.stream)
         return self.parent.submit(shifted)
 
     def flush(self):
@@ -1291,7 +1300,8 @@ class PlacementVolume(BlockTarget):
         placement, child_lba, child = self._route(request.lba,
                                                   request.nblocks)
         part = IORequest(request.op, child_lba, request.nblocks,
-                         payload=request.payload, tag=request.tag)
+                         payload=request.payload, tag=request.tag,
+                         stream=request.stream)
         state = self._activity[placement]
         if request.op == WRITE:
             state.submitted += 1

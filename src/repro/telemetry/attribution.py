@@ -70,6 +70,7 @@ SPAN_CATEGORY = {
     "fs.pwrite": "fs_syscall",
     "fs.pread": "fs_syscall",
     "ncq.slot": "ncq_queue",
+    "queue.slot": "ncq_queue",
     "vol.submit": "ncq_queue",
     "vol.flush": "ncq_queue",
     "dev.read": "device_io",

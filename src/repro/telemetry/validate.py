@@ -28,6 +28,14 @@ import sys
 
 _ALLOWED_PHASES = {"X", "i", "C", "M", "B", "E", "b", "e"}
 
+#: probe families with a fixed identifying-attr schema.  The legacy
+#: single-queue depth probe identifies by device alone; the multi-queue
+#: depth probe must also say *which* submission queue it watches.
+REQUIRED_PROBE_ATTRS = {
+    "ncq.depth": frozenset({"device"}),
+    "queue.depth": frozenset({"device", "queue"}),
+}
+
 
 def validate_chrome_trace(obj, min_tracks=0, require_tracks=(),
                           check_probe_attrs=False):
@@ -92,7 +100,10 @@ def validate_probe_attrs(events):
     2. all members of a ``name``/``name#2``/... family carry the same
        attr *keys* (one schema per probe family);
     3. a family with several members must tell them apart by attrs
-       (``device=<name>``), never by the ``#N`` suffix alone.
+       (``device=<name>``), never by the ``#N`` suffix alone;
+    4. families listed in :data:`REQUIRED_PROBE_ATTRS` carry exactly
+       their contracted attr keys (``queue.depth`` must say
+       ``device=<name> queue=<i>``; ``ncq.depth`` stays device-only).
     """
     per_name = {}
     for event in events:
@@ -115,6 +126,13 @@ def validate_probe_attrs(events):
             (name, attrs))
     for base, members in sorted(families.items()):
         keysets = {frozenset(attrs) for _name, attrs in members}
+        required = REQUIRED_PROBE_ATTRS.get(base)
+        if required is not None and keysets != {required}:
+            errors.append("probe family %r: attr keys must be exactly "
+                          "%s, got %s"
+                          % (base, sorted(required),
+                             sorted(sorted(keys) for keys in keysets)))
+            continue
         if len(keysets) > 1:
             errors.append("probe family %r: members disagree on attr "
                           "keys: %s"

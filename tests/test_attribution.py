@@ -432,8 +432,8 @@ class TestValidateProbeAttrs:
         assert validate_probe_attrs(events) == []
 
     def test_family_without_identifying_attrs_fails(self):
-        events = [sample("ncq.depth", 0.0, 1),
-                  sample("ncq.depth#2", 0.0, 2)]
+        events = [sample("bp.dirty", 0.0, 1),
+                  sample("bp.dirty#2", 0.0, 2)]
         errors = validate_probe_attrs(events)
         assert any("no identifying attrs" in e for e in errors)
 
@@ -457,10 +457,30 @@ class TestValidateProbeAttrs:
         assert validate_probe_attrs(events) == []
 
     def test_mismatched_family_keysets_fail(self):
-        events = [sample("ncq.depth", 0.0, 1, device="a"),
-                  sample("ncq.depth#2", 0.0, 2, device="b", lane=1)]
+        events = [sample("bp.dirty", 0.0, 1, device="a"),
+                  sample("bp.dirty#2", 0.0, 2, device="b", lane=1)]
         errors = validate_probe_attrs(events)
         assert any("disagree on attr keys" in e for e in errors)
+
+    def test_contracted_family_requires_exact_attr_keys(self):
+        # queue.depth must carry device + queue; a queue-less sample
+        # violates the multi-queue contract even though it is
+        # internally consistent.
+        events = [sample("queue.depth", 0.0, 1, device="a"),
+                  sample("queue.depth#2", 0.0, 2, device="b")]
+        errors = validate_probe_attrs(events)
+        assert any("attr keys must be exactly" in e for e in errors)
+
+    def test_contracted_families_pass_with_exact_keys(self):
+        events = [sample("queue.depth", 0.0, 1, device="a", queue=0),
+                  sample("queue.depth#2", 0.0, 2, device="a", queue=1),
+                  sample("ncq.depth", 0.0, 3, device="b")]
+        assert validate_probe_attrs(events) == []
+
+    def test_legacy_depth_probe_must_stay_device_only(self):
+        events = [sample("ncq.depth", 0.0, 1, device="a", queue=0)]
+        errors = validate_probe_attrs(events)
+        assert any("attr keys must be exactly" in e for e in errors)
 
 
 @pytest.fixture
