@@ -4,8 +4,9 @@ Runs the same LinkBench-ish workload in the default and the
 DuraSSD-best configuration with the cross-layer telemetry hub enabled,
 and prints what the device actually saw: command counts, flush-cache
 cadence, and read latency histograms (the paper's tail-latency story,
-visualised).  A Chrome trace of each run is written next to the script
-— load it at https://ui.perfetto.dev to see every layer's spans.
+visualised).  A Chrome trace of each run is written to
+``benchmarks/output/`` — load it at https://ui.perfetto.dev to see
+every layer's spans.
 
 (This example used to use :class:`repro.host.IOTracer`; the telemetry
 spans on the "device" track carry the same information plus the causal
@@ -13,6 +14,8 @@ parents — which transaction caused each flush-cache stall.)
 
 Run:  python examples/io_tracing.py
 """
+
+import os
 
 from repro.db import InnoDBConfig, InnoDBEngine
 from repro.devices import make_durassd
@@ -64,16 +67,24 @@ def describe(label, telemetry, result):
     print()
 
 
+#: trace dumps land in benchmarks/output/, never the repo root
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "output")
+
+
 def main():
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    default_path = os.path.join(OUTPUT_DIR, "io_tracing_default.json")
+    best_path = os.path.join(OUTPUT_DIR, "io_tracing_best.json")
     telemetry, result = traced_run(True, True, 16 * units.KIB)
     describe("MySQL default: barriers ON, doublewrite ON, 16KB",
              telemetry, result)
-    telemetry.write_chrome_trace("io_tracing_default.json")
+    telemetry.write_chrome_trace(default_path)
     telemetry, result = traced_run(False, False, 4 * units.KIB)
     describe("DuraSSD best: barriers OFF, doublewrite OFF, 4KB",
              telemetry, result)
-    telemetry.write_chrome_trace("io_tracing_best.json")
-    print("chrome traces: io_tracing_default.json, io_tracing_best.json")
+    telemetry.write_chrome_trace(best_path)
+    print("chrome traces: %s, %s" % (default_path, best_path))
 
 
 if __name__ == "__main__":

@@ -38,6 +38,10 @@ Usage::
 
     python -m repro monitor figure5                 # metrics + SLO dashboard
     python -m repro table1 --metrics-interval 0.01  # any bench + series CSV
+
+    python -m repro profile figure5-small           # simulator self-profile
+    python -m repro profile --speed                 # BENCH_speed.json baseline
+    python -m repro scaling --profile               # any bench + wall report
 """
 
 import sys
@@ -89,6 +93,35 @@ ORDER = ["table1", "table2", "figure5", "figure6", "table3", "table4",
 TELEMETRY_CAPABLE = frozenset(tracing.SCENARIOS)
 
 
+def _emit_profile(target):
+    """Report the self-profile of every world a ``--profile`` bench run
+    built: a pooled wall-attribution summary on stdout plus the full
+    aggregate as ``<target>-profile.json``."""
+    if not setups.profile_enabled():
+        return
+    profilers = [p for p in setups.profilers() if p.steps]
+    if not profilers:
+        return
+    import json
+
+    from .sim.profiler import aggregate
+    report = aggregate(profilers)
+    report["schema"] = "repro.profile/1"
+    report["scenario"] = target
+    path = "%s-profile.json" % target
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    setups.set_profile(True)  # reset the profiler list
+    print("\nself-profile: %d world(s), %d events, %.2fx real time, "
+          "%.0f events/sec -> %s"
+          % (report["worlds"], report["steps"],
+             report["real_time_factor"], report["events_per_sec"], path))
+    for row in report["layers"][:5]:
+        print("  %-10s %6.1f%%  %.3fs" % (row["layer"],
+                                          row["share"] * 100,
+                                          row["wall_s"]))
+
+
 def _emit_metrics(target):
     """Export the series of every metrics-armed world a bench built
     (``--metrics-interval``) as long-format CSV, one world column."""
@@ -125,24 +158,31 @@ def main(argv=None):
             print("  %-10s %s%s" % (name, EXPERIMENTS[name][0], flag))
         return 0
     target = argv[0]
-    if target == "trace":
-        return tracing.main(argv[1:])
-    if target == "torture":
-        return torture.main(argv[1:])
-    if target == "chaos":
-        return chaos.main(argv[1:])
-    if target == "integrity":
-        return integrity.main(argv[1:])
-    if target == "failover":
-        return failover.main(argv[1:])
-    if target == "scaling":
-        return scaling.main(argv[1:])
-    if target == "explain":
-        return explain.main(argv[1:])
-    if target == "monitor":
-        return monitor.main(argv[1:])
-    if target == "regress":
-        return regress.main(argv[1:])
+    if target == "profile":
+        from .bench import profile as bench_profile
+        return bench_profile.main(argv[1:])
+    if "--profile" in argv and target != "monitor":
+        # Run any bench with the simulator self-profiler riding every
+        # world; the pooled wall attribution is reported after the run.
+        # monitor keeps its own --profile (it embeds the attribution
+        # and the sim.* gauge series in the dashboard itself).
+        argv = [arg for arg in argv if arg != "--profile"]
+        setups.set_profile(True)
+    subcommands = {
+        "trace": tracing.main,
+        "torture": torture.main,
+        "chaos": chaos.main,
+        "integrity": integrity.main,
+        "failover": failover.main,
+        "scaling": scaling.main,
+        "explain": explain.main,
+        "monitor": monitor.main,
+        "regress": regress.main,
+    }
+    if target in subcommands:
+        status = subcommands[target](argv[1:])
+        _emit_profile(target)
+        return status
     if "--gray-faults" in argv:
         # Run any bench table with gray faults injected into its devices
         # (and the timeout/abort/retry stack armed to survive them).
@@ -200,6 +240,7 @@ def main(argv=None):
             print("=" * 70)
             EXPERIMENTS[name][1]()
             _emit_metrics(name)
+            _emit_profile(name)
             print()
         return 0
     if target not in EXPERIMENTS:
@@ -226,9 +267,11 @@ def main(argv=None):
               % (target, out, len(telemetry.events),
                  ", ".join(telemetry.tracks())))
         _emit_metrics(target)
+        _emit_profile(target)
         return 0
     EXPERIMENTS[target][1]()
     _emit_metrics(target)
+    _emit_profile(target)
     return 0
 
 

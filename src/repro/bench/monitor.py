@@ -39,15 +39,24 @@ DEFAULT_INTERVAL = 0.01
 MAX_DASHBOARD_WINDOWS = 64
 
 
-def run_scenario(name, interval=DEFAULT_INTERVAL, rules=None):
+def run_scenario(name, interval=DEFAULT_INTERVAL, rules=None,
+                 profile=False):
     """Run one traced scenario under windowed metrics.
 
     Returns ``(report, registry)`` — the dashboard report dict plus the
-    live registry for the exporters.
+    live registry for the exporters.  With ``profile`` a
+    :class:`~repro.sim.SimProfiler` rides the world, the registry gains
+    ``sim.real_time_factor`` / ``sim.events_per_sec`` gauge series, and
+    the report carries a ``profile`` wall-attribution summary.
     """
     fn = TRACED.get(name)
     registry = MetricsRegistry(interval=interval)
     telemetry = Telemetry(enabled=False, metrics=registry)
+    profiler = None
+    if profile:
+        from ..sim import SimProfiler
+        profiler = SimProfiler()
+        telemetry.profiler = profiler
     outcome = fn(telemetry)
     registry.finish()
     monitor = SLOMonitor(registry,
@@ -72,6 +81,8 @@ def run_scenario(name, interval=DEFAULT_INTERVAL, rules=None):
             "alerts": [episode.to_json() for episode in alerts],
         },
     }
+    if profiler is not None:
+        report["profile"] = profiler.summary()
     return report, registry
 
 
@@ -146,6 +157,24 @@ def render_markdown(report):
             lines.append("| %s | %s |" % (key, _fmt(value)))
     lines.append("")
 
+    profile = report.get("profile")
+    if profile is not None:
+        lines.append("## Simulator self-profile")
+        lines.append("")
+        lines.append("- %.3fs wall for %.3fs simulated — real-time "
+                     "factor **%.2fx**, %.0f events/sec"
+                     % (profile["wall_seconds"], profile["sim_seconds"],
+                        profile["real_time_factor"],
+                        profile["events_per_sec"]))
+        lines.append("")
+        lines.append("| layer | wall s | share | events |")
+        lines.append("|---|---:|---:|---:|")
+        for row in profile["layers"]:
+            lines.append("| %s | %.4f | %.1f%% | %d |"
+                         % (row["layer"], row["wall_s"],
+                            row["share"] * 100, row["events"]))
+        lines.append("")
+
     lines.append("## Series")
     lines.append("")
     lines.append("| metric | labels | kind | last | total delta |")
@@ -181,12 +210,13 @@ def main(argv):
             print(line)
         print("\noptions: --interval SECONDS (default %g), --out PATH,"
               "\n         --json PATH, --prom PATH, --csv PATH,"
-              "\n         --gray-faults PROFILE, --quiet" % DEFAULT_INTERVAL)
+              "\n         --gray-faults PROFILE, --profile, --quiet"
+              % DEFAULT_INTERVAL)
         return 0
     name = args.pop(0)
     interval = DEFAULT_INTERVAL
     out_path = json_path = prom_path = csv_path = gray = None
-    quiet = False
+    quiet = profile = False
     value_flags = ("--interval", "--out", "--json", "--prom", "--csv",
                    "--gray-faults")
     while args:
@@ -217,6 +247,8 @@ def main(argv):
                 print("no gray-fault profile %r (have: %s)"
                       % (gray, ", ".join(GRAY_PROFILES.names())))
                 return 2
+        elif flag == "--profile":
+            profile = True
         elif flag == "--quiet":
             quiet = True
         else:
@@ -225,7 +257,8 @@ def main(argv):
     if gray is not None:
         setups.set_gray_faults(gray)
     try:
-        report, registry = run_scenario(name, interval=interval)
+        report, registry = run_scenario(name, interval=interval,
+                                        profile=profile)
     except KeyError as error:
         print(error.args[0])
         return 2

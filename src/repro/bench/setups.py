@@ -252,22 +252,64 @@ def metric_sims():
     return list(_METRIC_SIMS)
 
 
+#: self-profiling armed by --profile: every fresh world gets a profiler
+_PROFILE = False
+
+#: profilers attached since arming, in world-build order
+_PROFILERS = []
+
+
+def set_profile(enabled=True):
+    """Arm simulator self-profiling for subsequently built worlds.
+
+    Each :func:`fresh_world` gets a
+    :class:`~repro.sim.profiler.SimProfiler` attached (collected via
+    :func:`profilers` for post-run reporting).  Disarmed — the default —
+    worlds run the untouched class-method event loop: the profiler
+    attaches by instance-level override, so the off path costs nothing.
+    """
+    global _PROFILE
+    _PROFILE = bool(enabled)
+    del _PROFILERS[:]
+
+
+def profile_enabled():
+    return _PROFILE
+
+
+def profilers():
+    """Profilers attached since arming, in world-build order."""
+    return list(_PROFILERS)
+
+
 def fresh_world(telemetry=None):
     """A simulator for one bench world.
 
     With ``--metrics-interval`` armed and no explicit hub, the world
     gets a trace-disabled hub with an enabled metrics registry — spans
     stay off (their overhead would distort latency-sensitive benches
-    far more than windowed counter snapshots do).
+    far more than windowed counter snapshots do).  With ``--profile``
+    armed, a :class:`~repro.sim.profiler.SimProfiler` rides whatever
+    hub the world ends up with.
     """
+    metric_sim = False
     if telemetry is None and _METRICS_INTERVAL is not None:
         telemetry = Telemetry(
             enabled=False,
             metrics=MetricsRegistry(interval=_METRICS_INTERVAL))
-        sim = Simulator(telemetry)
+        metric_sim = True
+    if _PROFILE:
+        if telemetry is None:
+            telemetry = Telemetry(enabled=False)
+        if telemetry.profiler is None:
+            from ..sim.profiler import SimProfiler
+            profiler = SimProfiler()
+            telemetry.profiler = profiler
+            _PROFILERS.append(profiler)
+    sim = Simulator(telemetry)
+    if metric_sim:
         _METRIC_SIMS.append(sim)
-        return sim
-    return Simulator(telemetry)
+    return sim
 
 
 def make_device(sim, kind="durassd", cache_enabled=True, capacity_bytes=None,

@@ -11,6 +11,7 @@ from .engine import (
     StopSimulation,
     Timeout,
 )
+from .profiler import SimProfiler
 from .resources import Mutex, Resource, Store
 from .rng import ScrambledZipfGenerator, UniformGenerator, ZipfGenerator, make_rng
 from .stats import CounterSet, LatencyRecorder, ThroughputMeter
@@ -27,6 +28,7 @@ __all__ = [
     "Process",
     "Resource",
     "ScrambledZipfGenerator",
+    "SimProfiler",
     "SimulationError",
     "Simulator",
     "StopSimulation",

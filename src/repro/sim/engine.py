@@ -334,9 +334,15 @@ class Simulator:
         # Probe-sampling hook: armed only when an enabled hub has probes
         # registered, so the common path pays one None check per step.
         self._tick = None
+        # Self-profiler seam: a SimProfiler attaches by *replacing*
+        # step/_push with instance-level overrides, so an unprofiled
+        # simulator runs the untouched class methods — zero overhead.
+        self._profiler = None
         self.telemetry = telemetry if telemetry is not None \
             else Telemetry(enabled=False)
         self.telemetry._bind(self)
+        if self.telemetry.profiler is not None:
+            self.telemetry.profiler.attach(self)
         if self.telemetry.probes:
             self._arm_telemetry_tick()
 

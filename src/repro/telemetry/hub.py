@@ -161,6 +161,11 @@ class Telemetry:
         self._next_sample_at = 0.0
         #: devices that can render a SMART-style smart() self-report
         self.smart_sources = []
+        #: a :class:`~repro.sim.profiler.SimProfiler` to attach to the
+        #: simulator this hub binds to (set it *before* building the
+        #: Simulator).  None — the default — costs one attribute check
+        #: at construction and nothing thereafter.
+        self.profiler = None
 
     # --- wiring ---------------------------------------------------------
     def _bind(self, sim):

@@ -250,6 +250,93 @@ def validate_monitor_report(report):
     return errors
 
 
+#: a profile report must attribute at least this share of measured wall
+PROFILE_COVERAGE_FLOOR = 0.95
+
+
+def validate_profile_report(report):
+    """Schema + coverage checks for a ``repro.profile/1`` report.
+
+    The hard guarantee mirrors the explain report's exactness bar:
+    per-layer wall shares must cover at least
+    :data:`PROFILE_COVERAGE_FLOOR` of the measured wall time — a
+    profiler losing track of where the time went is worse than none.
+    """
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    errors = []
+    if report.get("schema") != "repro.profile/1":
+        errors.append("schema must be 'repro.profile/1' (got %r)"
+                      % (report.get("schema"),))
+    for key in ("wall_seconds", "sim_seconds", "real_time_factor",
+                "events_per_sec"):
+        value = report.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append("%r must be a positive number (got %r)"
+                          % (key, value))
+    if not isinstance(report.get("steps"), int) \
+            or report.get("steps", 0) < 1:
+        errors.append("'steps' must be a positive event count")
+    layers = report.get("layers")
+    if not isinstance(layers, list) or not layers:
+        errors.append("report needs a non-empty 'layers' list")
+        layers = []
+    share_sum = 0.0
+    for index, row in enumerate(layers):
+        where = "layers[%d]" % index
+        if not isinstance(row, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        if not row.get("layer"):
+            errors.append("%s: missing layer name" % where)
+        for key in ("wall_s", "share"):
+            if not isinstance(row.get(key), (int, float)) \
+                    or row.get(key, -1) < 0:
+                errors.append("%s: %r must be a non-negative number"
+                              % (where, key))
+        if not isinstance(row.get("events"), int):
+            errors.append("%s: missing integer 'events'" % where)
+        share_sum += row.get("share", 0.0) or 0.0
+    coverage = report.get("coverage")
+    if not isinstance(coverage, (int, float)):
+        errors.append("'coverage' must be a number")
+    elif coverage < PROFILE_COVERAGE_FLOOR:
+        errors.append("attributed layer shares cover only %.1f%% of "
+                      "measured wall (floor: %.0f%%)"
+                      % (coverage * 100, PROFILE_COVERAGE_FLOOR * 100))
+    if layers and not errors and abs(share_sum - coverage) > 1e-6:
+        errors.append("layer shares sum to %.4f but coverage says %.4f"
+                      % (share_sum, coverage))
+    if not isinstance(report.get("event_types"), list) \
+            or not report.get("event_types"):
+        errors.append("report needs a non-empty 'event_types' list")
+    hot = report.get("hot")
+    if not isinstance(hot, list) or not hot:
+        errors.append("report needs a non-empty 'hot' target list")
+    else:
+        for index, row in enumerate(hot):
+            if not isinstance(row, dict) or not row.get("target"):
+                errors.append("hot[%d]: missing target" % index)
+                break
+    overhead = report.get("telemetry_overhead")
+    if overhead is not None:
+        if not isinstance(overhead, dict):
+            errors.append("'telemetry_overhead' must be an object")
+        elif overhead.get("base_events") != overhead.get("armed_events"):
+            errors.append("telemetry ablation changed the event count "
+                          "(%r vs %r) — the hub must add no events"
+                          % (overhead.get("base_events"),
+                             overhead.get("armed_events")))
+    allocations = report.get("allocations")
+    if allocations is not None:
+        if not isinstance(allocations, dict) \
+                or not isinstance(allocations.get("layers"), list):
+            errors.append("'allocations' needs a layer list")
+        elif not isinstance(allocations.get("total_kib"), (int, float)):
+            errors.append("'allocations' needs a numeric total_kib")
+    return errors
+
+
 def validate_trace_file(path, min_tracks=0, require_tracks=(),
                         check_probe_attrs=False):
     """Load ``path`` and validate it; returns (errors, stats dict)."""
@@ -279,6 +366,7 @@ def main(argv=None):
     check_attrs = False
     explain_mode = False
     monitor_mode = False
+    profile_mode = False
     while argv:
         arg = argv.pop(0)
         if arg == "--min-tracks":
@@ -291,6 +379,8 @@ def main(argv=None):
             explain_mode = True
         elif arg == "--monitor":
             monitor_mode = True
+        elif arg == "--profile":
+            profile_mode = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -300,8 +390,31 @@ def main(argv=None):
         print("usage: python -m repro.telemetry.validate TRACE.json "
               "[--min-tracks N] [--require-tracks a,b,c] "
               "[--check-probe-attrs] | --explain REPORT.json "
-              "| --monitor DASH.json")
+              "| --monitor DASH.json | --profile PROFILE.json")
         return 2
+    if profile_mode:
+        status = 0
+        for path in paths:
+            try:
+                with open(path) as handle:
+                    report = json.load(handle)
+            except (OSError, ValueError) as exc:
+                print("%s: INVALID\n  - cannot load: %s" % (path, exc))
+                status = 1
+                continue
+            errors = validate_profile_report(report)
+            if errors:
+                status = 1
+                print("%s: INVALID" % path)
+                for error in errors:
+                    print("  - %s" % error)
+            else:
+                print("%s: OK (%s; %s: %d events, %.2fx real time, "
+                      "coverage %.1f%%)"
+                      % (path, report["schema"], report["scenario"],
+                         report["steps"], report["real_time_factor"],
+                         report["coverage"] * 100))
+        return status
     if monitor_mode:
         status = 0
         for path in paths:

@@ -16,8 +16,12 @@ from repro.telemetry import Telemetry
 from repro.workloads.linkbench import LinkBenchConfig, LinkBenchWorkload
 
 
-def _seeded_run(width=1, barriers=False, clients=8, ops=12):
+def _seeded_run(width=1, barriers=False, clients=8, ops=12,
+                profiled=False):
     telemetry = Telemetry(enabled=True)
+    if profiled:
+        from repro.sim import SimProfiler
+        telemetry.profiler = SimProfiler()
     sim = Simulator(telemetry)
     if width > 1:
         members = [make_durassd(sim, capacity_bytes=units.GIB,
@@ -59,3 +63,19 @@ class TestReplayDeterminism:
         _result, base = _seeded_run()
         _result, wider = _seeded_run(width=2, barriers=True)
         assert base.jsonl() != wider.jsonl()
+
+    def test_profiled_run_is_byte_identical(self):
+        """The self-profiler observes only host wall time: a profiled
+        run's simulated results and telemetry stream must match an
+        unprofiled run bit-for-bit."""
+        plain_result, plain = _seeded_run()
+        profiled_result, profiled = _seeded_run(profiled=True)
+        assert plain_result.tps == profiled_result.tps
+        assert plain.jsonl() == profiled.jsonl()
+        # ...and the profiler really measured that run, so the
+        # equality above is not vacuous.
+        profiler = profiled.profiler
+        assert profiler.steps == profiled.sim.processed_events
+        assert profiler.steps > 0
+        assert profiler.wall_seconds() > 0
+        assert profiler.coverage() > 0.5
